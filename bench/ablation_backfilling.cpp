@@ -1,0 +1,54 @@
+// Ablation: backfilling (extension beyond the paper).
+//
+// Sect. 3.2 traces the poor SC/GS performance to head-of-line blocking by
+// very large jobs and fixes it by *capping the job size* (DAS-s-64). The
+// modern alternative is backfilling. This harness compares, for SC and GS:
+//   plain FCFS (the paper)  vs  aggressive backfilling  vs  EASY
+// and also shows FCFS + DAS-s-64 for reference — backfilling recovers most
+// of the benefit of the size cap without rejecting any jobs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcsim;
+  const auto options = bench::parse_bench_options(
+      argc, argv, "Ablation: FCFS vs aggressive vs EASY backfilling (SC, GS)");
+  if (!options) return 0;
+
+  auto run_point = [&](PolicyKind policy, BackfillMode mode, bool das64, double rho) {
+    PaperScenario scenario;
+    scenario.policy = policy;
+    scenario.component_limit = 16;
+    scenario.limit_total_size_64 = das64;
+    auto config = make_paper_config(scenario, rho, options->jobs, options->seed);
+    config.backfill = mode;
+    return run_simulation(config);
+  };
+
+  for (PolicyKind policy : {PolicyKind::kSC, PolicyKind::kGS}) {
+    std::cout << "== Ablation: backfilling under " << policy_name(policy)
+              << " (DAS-s-128, limit 16) ==\n\n";
+    TextTable table({"gross util", "FCFS (s)", "aggressive (s)", "EASY (s)",
+                     "FCFS+DAS-s-64 (s)"});
+    for (double rho : SweepConfig::grid(0.40, 0.85, 0.05)) {
+      std::vector<std::string> row{format_util(rho)};
+      for (int variant = 0; variant < 4; ++variant) {
+        const BackfillMode mode = variant == 1   ? BackfillMode::kAggressive
+                                  : variant == 2 ? BackfillMode::kEasy
+                                                 : BackfillMode::kNone;
+        const auto result = run_point(policy, mode, /*das64=*/variant == 3, rho);
+        row.push_back(result.unstable ? "-" : format_double(result.mean_response(), 1));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << table.render() << '\n';
+  }
+  std::cout << "expected shape: both backfilling modes push the saturation point\n"
+               "well past plain FCFS, similar to (or better than) capping the job\n"
+               "size at 64; EASY avoids the starvation risk of aggressive.\n";
+  return 0;
+}

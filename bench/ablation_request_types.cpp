@@ -1,0 +1,52 @@
+// Ablation: request structures (ordered / unordered / flexible / total),
+// the model dimension of the authors' earlier studies (refs [6,7]) that the
+// paper fixes at "unordered". Each placement constraint costs packing
+// opportunities, so the expected order (best to worst) is
+//   flexible > unordered > ordered,
+// with SC's total requests as the single-cluster reference.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/das_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcsim;
+  const auto options = bench::parse_bench_options(
+      argc, argv, "Ablation: ordered vs unordered vs flexible requests under GS");
+  if (!options) return 0;
+
+  auto run_point = [&](RequestType type, double rho) {
+    SimulationConfig config;
+    config.policy = PolicyKind::kGS;
+    config.cluster_sizes = {32, 32, 32, 32};
+    config.workload.size_distribution = das_s_128();
+    config.workload.service_distribution = das_t_900();
+    config.workload.component_limit = 16;
+    config.workload.num_clusters = 4;
+    config.workload.extension_factor = das::kExtensionFactor;
+    config.workload.request_type = type;
+    config.workload.arrival_rate = config.workload.rate_for_gross_utilization(rho, 128);
+    config.total_jobs = options->jobs;
+    config.seed = options->seed;
+    return run_simulation(config);
+  };
+
+  std::cout << "== Ablation: request structure (GS, limit 16, DAS-s-128) ==\n\n";
+  TextTable table({"gross util", "ordered (s)", "unordered (s)", "flexible (s)"});
+  for (double rho : SweepConfig::grid(0.30, 0.75, 0.05)) {
+    std::vector<std::string> row{format_util(rho)};
+    for (RequestType type :
+         {RequestType::kOrdered, RequestType::kUnordered, RequestType::kFlexible}) {
+      const auto result = run_point(type, rho);
+      row.push_back(result.unstable ? "-" : format_double(result.mean_response(), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.render();
+  std::cout << "\nexpected shape: flexible <= unordered <= ordered at every load;\n"
+               "ordered saturates first (placement constraints waste capacity).\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Engine microbenchmarks (google-benchmark): the DES calendar, placement
+// rules (the WF/FF/BF ablation from DESIGN.md), distribution sampling, and
+// end-to-end simulation throughput per policy.
+#include <benchmark/benchmark.h>
+
+#include "cluster/placement.hpp"
+#include "core/engine.hpp"
+#include "exp/scenario.hpp"
+#include "sim/calendar.hpp"
+#include "util/rng.hpp"
+#include "workload/das_workload.hpp"
+#include "workload/job_splitter.hpp"
+
+namespace {
+
+using namespace mcsim;
+
+void BM_CalendarPushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    Calendar cal;
+    for (std::size_t i = 0; i < batch; ++i) cal.push(rng.uniform(0.0, 1e6));
+    while (!cal.empty()) benchmark::DoNotOptimize(cal.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_CalendarPushPop)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_CalendarHold(benchmark::State& state) {
+  // The classic "hold" model: steady-state push/pop on a part-full calendar.
+  Rng rng(2);
+  Calendar cal;
+  for (int i = 0; i < 1024; ++i) cal.push(rng.uniform(0.0, 1000.0));
+  double now = 0.0;
+  for (auto _ : state) {
+    const auto entry = cal.pop();
+    now = entry.time;
+    cal.push(now + rng.uniform(0.0, 1000.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CalendarHold);
+
+void BM_Placement(benchmark::State& state) {
+  const auto rule = static_cast<PlacementRule>(state.range(0));
+  Rng rng(3);
+  std::vector<std::vector<std::uint32_t>> requests;
+  for (int i = 0; i < 512; ++i) {
+    const auto size = static_cast<std::uint32_t>(das_s_128().sample(rng));
+    requests.push_back(split_job(size, 16, 4));
+  }
+  std::vector<std::uint32_t> idle{17, 3, 29, 11};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(place_components(requests[i % requests.size()], idle, rule));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Placement)
+    ->Arg(static_cast<int>(PlacementRule::kWorstFit))
+    ->Arg(static_cast<int>(PlacementRule::kFirstFit))
+    ->Arg(static_cast<int>(PlacementRule::kBestFit));
+
+void BM_SampleDasS128(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(das_s_128().sample(rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SampleDasS128);
+
+void BM_SampleDasT900(benchmark::State& state) {
+  Rng rng(5);
+  const auto dist = das_t_900();
+  for (auto _ : state) benchmark::DoNotOptimize(dist->sample(rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SampleDasT900);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  const auto policy = static_cast<PolicyKind>(state.range(0));
+  std::uint64_t jobs = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    PaperScenario scenario;
+    scenario.policy = policy;
+    scenario.component_limit = 16;
+    auto config = make_paper_config(scenario, 0.5, 5000, seed++);
+    const auto result = run_simulation(config);
+    benchmark::DoNotOptimize(result.mean_response());
+    jobs += result.completed_jobs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.SetLabel("jobs/s");
+}
+BENCHMARK(BM_EndToEndSimulation)
+    ->Arg(static_cast<int>(PolicyKind::kGS))
+    ->Arg(static_cast<int>(PolicyKind::kLS))
+    ->Arg(static_cast<int>(PolicyKind::kLP))
+    ->Arg(static_cast<int>(PolicyKind::kSC))
+    ->Unit(benchmark::kMillisecond);
+
+// Placement-rule ablation at the system level: does WF vs FF/BF move the
+// response time? (DESIGN.md ablation; the paper fixes WF.)
+void BM_PlacementRuleAblation(benchmark::State& state) {
+  const auto rule = static_cast<PlacementRule>(state.range(0));
+  double response = 0.0;
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    PaperScenario scenario;
+    scenario.policy = PolicyKind::kLS;
+    scenario.component_limit = 16;
+    scenario.placement = rule;
+    auto config = make_paper_config(scenario, 0.55, 5000, 77);
+    const auto result = run_simulation(config);
+    response = result.mean_response();
+    jobs += result.completed_jobs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.counters["mean_response_s"] = response;
+}
+BENCHMARK(BM_PlacementRuleAblation)
+    ->Arg(static_cast<int>(PlacementRule::kWorstFit))
+    ->Arg(static_cast<int>(PlacementRule::kFirstFit))
+    ->Arg(static_cast<int>(PlacementRule::kBestFit))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

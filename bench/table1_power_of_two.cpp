@@ -1,0 +1,42 @@
+// Table 1 — "The fractions of jobs with sizes powers of two".
+//
+// Prints three columns: the paper's values, the analytic reconstruction
+// (DAS-s-128, exact by construction) and the fractions measured on the
+// synthetic log (sampled, so they carry sampling noise).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "trace/synthetic_log.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/das_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcsim;
+  const auto options = bench::parse_bench_options(
+      argc, argv, "Table 1: fractions of jobs with power-of-two sizes");
+  if (!options) return 0;
+
+  SyntheticLogConfig config;
+  config.num_jobs = std::max<std::uint64_t>(options->jobs, 10000);
+  config.seed = options->seed;
+  const SwfTrace trace = generate_synthetic_das1_log(config);
+
+  std::cout << "== Table 1: fractions of jobs with sizes powers of two ==\n\n";
+  TextTable table({"total job size", "paper", "DAS-s-128 (exact)", "synthetic log"});
+  const auto& dist = das_s_128();
+  for (const auto& row : das1_power_of_two_fractions()) {
+    table.add_row({std::to_string(row.size), format_util(row.fraction),
+                   format_util(dist.probability_of(row.size)),
+                   format_util(fraction_with_size(trace.records, row.size))});
+  }
+  std::cout << table.render();
+
+  double paper_total = 0.0;
+  for (const auto& row : das1_power_of_two_fractions()) paper_total += row.fraction;
+  std::cout << "\ntotal power-of-two mass: paper " << format_util(paper_total)
+            << ", log " << format_util(summarize_trace(trace.records).power_of_two_fraction)
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Beyond the paper's homogeneous 4x32 study: the REAL DAS2 layout — five
+// clusters, one with 72 dual-processor nodes and four with 32 (Sect. 2.1)
+// — scheduled with LS and co-allocation. Shows the library's heterogeneous
+// machine support and how cluster asymmetry shifts load.
+//
+//   $ ./examples/das2_heterogeneous --utilization=0.5
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/das_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcsim;
+  CliParser parser("Co-allocation on the real five-cluster DAS2 layout (72+4x32)");
+  parser.add_option("utilization", "0.5", "target gross utilization");
+  parser.add_option("limit", "24", "job-component-size limit");
+  parser.add_option("jobs", "30000", "simulated jobs");
+  parser.add_option("policy", "LS", "GS, LS or LP");
+  parser.add_option("seed", "11", "master random seed");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const std::vector<std::uint32_t> das2_layout = {72, 32, 32, 32, 32};
+
+  SimulationConfig config;
+  config.policy = parse_policy(parser.get("policy"));
+  MCSIM_REQUIRE(!is_single_cluster_policy(config.policy),
+                "this example models the multicluster; use SC elsewhere");
+  config.cluster_sizes = das2_layout;
+  config.workload.size_distribution = das_s_128();
+  config.workload.service_distribution = das_t_900();
+  config.workload.component_limit = static_cast<std::uint32_t>(parser.get_uint("limit"));
+  config.workload.num_clusters = static_cast<std::uint32_t>(das2_layout.size());
+  config.workload.extension_factor = das::kExtensionFactor;
+  // Submissions proportional to cluster size, as users submit locally.
+  config.workload.queue_weights = {72.0, 32.0, 32.0, 32.0, 32.0};
+  config.workload.arrival_rate = config.workload.rate_for_gross_utilization(
+      parser.get_double("utilization"), config.total_processors());
+  config.total_jobs = parser.get_uint("jobs");
+  config.seed = parser.get_uint("seed");
+
+  const auto result = run_simulation(config);
+
+  std::cout << "DAS2 layout: 72 + 32 + 32 + 32 + 32 = " << config.total_processors()
+            << " processors, policy " << result.policy << "\n\n";
+  TextTable table({"metric", "value"});
+  table.add_row({"completed jobs", std::to_string(result.completed_jobs)});
+  table.add_row({"mean response (s)", format_double(result.mean_response(), 1)});
+  table.add_row({"p95 response (s)", format_double(result.response_p95, 1)});
+  table.add_row({"mean wait (s)", format_double(result.wait_all.mean(), 1)});
+  table.add_row({"offered gross util", format_util(result.offered_gross_utilization)});
+  table.add_row({"offered net util", format_util(result.offered_net_utilization)});
+  table.add_row({"busy fraction", format_util(result.busy_fraction)});
+  table.add_row({"status", result.unstable ? "unstable" : "stable"});
+  std::cout << table.render();
+
+  std::cout << "\nNote: with a 72-CPU cluster in the mix, jobs up to 72 stay\n"
+               "single-component under limit 72; rerun with --limit=72 to see the\n"
+               "communication penalty vanish for them.\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "cluster/cluster.hpp"
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+Cluster::Cluster(ClusterId id, std::uint32_t num_processors, double speed)
+    : id_(id), capacity_(num_processors), speed_(speed) {
+  MCSIM_REQUIRE(num_processors > 0, "cluster must have processors");
+  MCSIM_REQUIRE(speed > 0.0, "cluster speed must be positive");
+}
+
+void Cluster::allocate(std::uint32_t processors) {
+  MCSIM_REQUIRE(fits(processors), "allocation exceeds idle processors");
+  busy_ += processors;
+}
+
+void Cluster::release(std::uint32_t processors) {
+  MCSIM_REQUIRE(busy_ >= processors, "releasing more processors than busy");
+  busy_ -= processors;
+}
+
+}  // namespace mcsim

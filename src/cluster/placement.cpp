@@ -1,0 +1,166 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+const char* placement_rule_name(PlacementRule rule) {
+  switch (rule) {
+    case PlacementRule::kWorstFit: return "WF";
+    case PlacementRule::kFirstFit: return "FF";
+    case PlacementRule::kBestFit: return "BF";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_non_increasing(const std::vector<std::uint32_t>& v) {
+  return std::is_sorted(v.rbegin(), v.rend());
+}
+
+/// Cluster ids ordered by (idle desc, id asc).
+std::vector<ClusterId> clusters_by_idle_desc(const std::vector<std::uint32_t>& idle) {
+  std::vector<ClusterId> order(idle.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&idle](ClusterId a, ClusterId b) {
+    return idle[a] > idle[b];
+  });
+  return order;
+}
+
+std::optional<Allocation> place_worst_fit(const std::vector<std::uint32_t>& components,
+                                          const std::vector<std::uint32_t>& idle) {
+  const auto order = clusters_by_idle_desc(idle);
+  Allocation allocation;
+  allocation.reserve(components.size());
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (components[i] > idle[order[i]]) return std::nullopt;
+    allocation.push_back(ComponentPlacement{order[i], components[i]});
+  }
+  return allocation;
+}
+
+std::optional<Allocation> place_first_fit(const std::vector<std::uint32_t>& components,
+                                          const std::vector<std::uint32_t>& idle) {
+  std::vector<bool> used(idle.size(), false);
+  Allocation allocation;
+  allocation.reserve(components.size());
+  for (std::uint32_t component : components) {
+    bool placed = false;
+    for (ClusterId c = 0; c < idle.size(); ++c) {
+      if (!used[c] && component <= idle[c]) {
+        used[c] = true;
+        allocation.push_back(ComponentPlacement{c, component});
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+  return allocation;
+}
+
+std::optional<Allocation> place_best_fit(const std::vector<std::uint32_t>& components,
+                                         const std::vector<std::uint32_t>& idle) {
+  std::vector<bool> used(idle.size(), false);
+  Allocation allocation;
+  allocation.reserve(components.size());
+  for (std::uint32_t component : components) {
+    ClusterId best = static_cast<ClusterId>(idle.size());
+    std::uint32_t best_idle = 0;
+    for (ClusterId c = 0; c < idle.size(); ++c) {
+      if (used[c] || component > idle[c]) continue;
+      if (best == idle.size() || idle[c] < best_idle) {
+        best = c;
+        best_idle = idle[c];
+      }
+    }
+    if (best == idle.size()) return std::nullopt;
+    used[best] = true;
+    allocation.push_back(ComponentPlacement{best, component});
+  }
+  return allocation;
+}
+
+}  // namespace
+
+std::optional<Allocation> place_components(const std::vector<std::uint32_t>& components,
+                                           const std::vector<std::uint32_t>& idle_counts,
+                                           PlacementRule rule) {
+  MCSIM_REQUIRE(!components.empty(), "request has no components");
+  MCSIM_REQUIRE(components.size() <= idle_counts.size(),
+                "more components than clusters");
+  MCSIM_REQUIRE(is_non_increasing(components), "components must be non-increasing");
+  switch (rule) {
+    case PlacementRule::kWorstFit: return place_worst_fit(components, idle_counts);
+    case PlacementRule::kFirstFit: return place_first_fit(components, idle_counts);
+    case PlacementRule::kBestFit: return place_best_fit(components, idle_counts);
+  }
+  return std::nullopt;
+}
+
+std::optional<Allocation> place_on_cluster(std::uint32_t processors, ClusterId cluster,
+                                           const std::vector<std::uint32_t>& idle_counts) {
+  MCSIM_REQUIRE(cluster < idle_counts.size(), "unknown cluster");
+  if (processors > idle_counts[cluster]) return std::nullopt;
+  return Allocation{ComponentPlacement{cluster, processors}};
+}
+
+std::optional<Allocation> place_ordered(const std::vector<std::uint32_t>& components,
+                                        const std::vector<ClusterId>& clusters,
+                                        const std::vector<std::uint32_t>& idle_counts) {
+  MCSIM_REQUIRE(!components.empty(), "request has no components");
+  MCSIM_REQUIRE(components.size() == clusters.size(),
+                "ordered request needs one cluster per component");
+  Allocation allocation;
+  allocation.reserve(components.size());
+  std::vector<std::uint32_t> remaining = idle_counts;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    MCSIM_REQUIRE(clusters[i] < idle_counts.size(), "ordered request names unknown cluster");
+    if (components[i] > remaining[clusters[i]]) return std::nullopt;
+    remaining[clusters[i]] -= components[i];
+    allocation.push_back(ComponentPlacement{clusters[i], components[i]});
+  }
+  return allocation;
+}
+
+std::optional<Allocation> place_flexible(std::uint32_t total,
+                                         const std::vector<std::uint32_t>& idle_counts) {
+  MCSIM_REQUIRE(total > 0, "request must ask for processors");
+  // Whole-job fit on one cluster first (Worst Fit keeps big holes open).
+  const auto order = clusters_by_idle_desc(idle_counts);
+  if (idle_counts[order.front()] >= total) {
+    return Allocation{ComponentPlacement{order.front(), total}};
+  }
+  // Otherwise spread greedily over clusters by decreasing idle count.
+  std::uint32_t left = total;
+  Allocation allocation;
+  for (ClusterId cluster : order) {
+    const std::uint32_t take = std::min(left, idle_counts[cluster]);
+    if (take == 0) break;
+    allocation.push_back(ComponentPlacement{cluster, take});
+    left -= take;
+    if (left == 0) return allocation;
+  }
+  return std::nullopt;
+}
+
+bool components_fit(const std::vector<std::uint32_t>& components,
+                    const std::vector<std::uint32_t>& idle_counts) {
+  if (components.size() > idle_counts.size()) return false;
+  MCSIM_ASSERT(is_non_increasing(components));
+  // Sort idle counts decreasingly; the i-th largest component must fit the
+  // i-th most idle cluster (matching the WF feasibility argument).
+  std::vector<std::uint32_t> idle = idle_counts;
+  std::sort(idle.rbegin(), idle.rend());
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (components[i] > idle[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,55 @@
+// Placement of unordered requests onto clusters (paper Sect. 2.3).
+//
+// "To determine whether an unordered request fits, we try to schedule its
+// components in decreasing order of their sizes on distinct clusters. We
+// use Worst Fit (WF) to place the components on clusters."
+//
+// Worst Fit pairs the largest component with the most-idle cluster, the
+// second largest with the second most-idle, and so on; with both lists
+// sorted decreasingly this is also a *complete* fit test — if this pairing
+// fails, no assignment to distinct clusters fits. First Fit and Best Fit
+// are provided for ablation studies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/multicluster.hpp"
+
+namespace mcsim {
+
+enum class PlacementRule { kWorstFit, kFirstFit, kBestFit };
+
+const char* placement_rule_name(PlacementRule rule);
+
+/// Try to place `components` (must be non-increasing) on distinct clusters
+/// given per-cluster idle counts. Returns std::nullopt if the request does
+/// not fit. Ties on idle counts break toward the lower cluster id, keeping
+/// runs deterministic.
+std::optional<Allocation> place_components(const std::vector<std::uint32_t>& components,
+                                           const std::vector<std::uint32_t>& idle_counts,
+                                           PlacementRule rule = PlacementRule::kWorstFit);
+
+/// Place a single-component job on one specific cluster (LS local jobs).
+std::optional<Allocation> place_on_cluster(std::uint32_t processors, ClusterId cluster,
+                                           const std::vector<std::uint32_t>& idle_counts);
+
+/// Place an ORDERED request (the authors' model, refs [6,7]): component i
+/// must go to cluster `clusters[i]` exactly; all-or-nothing.
+std::optional<Allocation> place_ordered(const std::vector<std::uint32_t>& components,
+                                        const std::vector<ClusterId>& clusters,
+                                        const std::vector<std::uint32_t>& idle_counts);
+
+/// Place a FLEXIBLE request (refs [6,7]): only the total matters; the
+/// scheduler splits it over clusters as it likes. Tries one cluster first
+/// (WF), then spreads greedily over clusters by decreasing idle count.
+/// Fits iff total_idle >= total.
+std::optional<Allocation> place_flexible(std::uint32_t total,
+                                         const std::vector<std::uint32_t>& idle_counts);
+
+/// Fit test only (no allocation construction) — cheaper on the hot path.
+bool components_fit(const std::vector<std::uint32_t>& components,
+                    const std::vector<std::uint32_t>& idle_counts);
+
+}  // namespace mcsim

@@ -1,0 +1,194 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace mcsim {
+
+std::uint32_t SimulationConfig::total_processors() const {
+  std::uint32_t total = 0;
+  for (std::uint32_t size : cluster_sizes) total += size;
+  return total;
+}
+
+namespace {
+Multicluster make_system(const SimulationConfig& config) {
+  if (config.cluster_speeds.empty()) return Multicluster(config.cluster_sizes);
+  return Multicluster(config.cluster_sizes, config.cluster_speeds);
+}
+}  // namespace
+
+MulticlusterSimulation::MulticlusterSimulation(SimulationConfig config)
+    : config_(std::move(config)),
+      system_(make_system(config_)),
+      generator_(config_.workload, config_.seed),
+      utilization_(system_.total_processors(), 0.0) {
+  MCSIM_REQUIRE(config_.total_jobs > 0, "simulation needs jobs");
+  MCSIM_REQUIRE(config_.warmup_fraction >= 0.0 && config_.warmup_fraction < 1.0,
+                "warmup fraction must be in [0,1)");
+  if (is_single_cluster_policy(config_.policy)) {
+    MCSIM_REQUIRE(system_.num_clusters() == 1, "SC runs on a single cluster");
+    MCSIM_REQUIRE(!config_.workload.split_jobs, "SC uses total requests (split_jobs = false)");
+  } else {
+    MCSIM_REQUIRE(config_.workload.num_clusters == system_.num_clusters(),
+                  "workload and system disagree on the number of clusters");
+  }
+  scheduler_ = make_scheduler(config_.policy, *this, config_.placement, config_.backfill,
+                              config_.discipline);
+  queue_length_.start(0.0, 0.0);
+  cluster_busy_.resize(system_.num_clusters());
+  for (auto& stat : cluster_busy_) stat.start(0.0, 0.0);
+  warmup_completions_ =
+      static_cast<std::uint64_t>(config_.warmup_fraction * static_cast<double>(config_.total_jobs));
+  const std::uint64_t measured = config_.total_jobs - warmup_completions_;
+  const std::uint64_t batch_size = std::max<std::uint64_t>(1, measured / config_.batch_count);
+  response_batches_ = std::make_unique<BatchMeans>(batch_size);
+  result_.policy = scheduler_->name();
+}
+
+SimulationResult MulticlusterSimulation::run() {
+  MCSIM_REQUIRE(!ran_, "MulticlusterSimulation::run may be called once");
+  ran_ = true;
+  if (warmup_completions_ == 0) begin_measurement();
+  schedule_next_arrival();
+  sim_.run();
+
+  result_.completed_jobs = completions_;
+  result_.end_time = sim_.now();
+  result_.events_executed = sim_.executed_events();
+  result_.final_queue_lengths = scheduler_->queue_lengths();
+  result_.response_ci = response_batches_->confidence();
+  result_.response_p95 = response_p95_.value();
+  result_.busy_fraction = utilization_.busy_fraction(sim_.now());
+  result_.mean_queue_length = queue_length_.time_average(sim_.now());
+  result_.per_cluster_busy_fraction.reserve(cluster_busy_.size());
+  for (std::uint32_t c = 0; c < cluster_busy_.size(); ++c) {
+    result_.per_cluster_busy_fraction.push_back(
+        cluster_busy_[c].time_average(sim_.now()) /
+        static_cast<double>(system_.cluster(c).capacity()));
+  }
+
+  // Offered load over the measurement window (arrival-side accounting; for
+  // a stable run this matches the carried load).
+  const double window = last_arrival_time_ - measure_start_time_;
+  if (window > 0.0 && measuring_) {
+    const double capacity = static_cast<double>(system_.total_processors()) * window;
+    result_.offered_gross_utilization = arrived_gross_work_ / capacity;
+    result_.offered_net_utilization = arrived_net_work_ / capacity;
+  }
+  return result_;
+}
+
+void MulticlusterSimulation::schedule_next_arrival() {
+  if (arrivals_generated_ >= config_.total_jobs) return;
+  JobSpec spec = generator_.next();
+  ++arrivals_generated_;
+  sim_.schedule_at(spec.arrival_time,
+                   [this, spec = std::move(spec)]() mutable { on_arrival(std::move(spec)); });
+}
+
+void MulticlusterSimulation::on_arrival(JobSpec spec) {
+  last_arrival_time_ = sim_.now();
+  if (measuring_) {
+    arrived_gross_work_ +=
+        static_cast<double>(spec.total_size) * spec.gross_service_time;
+    arrived_net_work_ += static_cast<double>(spec.total_size) * spec.service_time;
+  }
+  auto job = std::make_shared<Job>(std::move(spec));
+  scheduler_->submit(job);
+  queue_length_.update(sim_.now(), static_cast<double>(scheduler_->queued_jobs()));
+
+  if (scheduler_->max_queue_length() > config_.instability_queue_limit) {
+    MCSIM_LOG(kInfo) << result_.policy << ": queue exceeded "
+                     << config_.instability_queue_limit << " jobs; marking unstable";
+    result_.unstable = true;
+    sim_.stop();
+    return;
+  }
+  if (arrivals_generated_ >= config_.total_jobs) {
+    // Last arrival just entered: a backlog still growing at this point means
+    // the offered load exceeds the policy's maximal utilization.
+    const auto backlog_limit = static_cast<std::size_t>(
+        std::max(100.0, config_.instability_backlog_fraction *
+                            static_cast<double>(config_.total_jobs)));
+    if (scheduler_->queued_jobs() > backlog_limit) {
+      MCSIM_LOG(kInfo) << result_.policy << ": backlog of " << scheduler_->queued_jobs()
+                       << " jobs at end of arrivals; marking unstable";
+      result_.unstable = true;
+      sim_.stop();
+      return;
+    }
+  }
+  schedule_next_arrival();
+}
+
+void MulticlusterSimulation::start_job(const JobPtr& job, Allocation allocation) {
+  MCSIM_REQUIRE(!job->started(), "job started twice");
+  job->allocation = std::move(allocation);
+  job->start_time = sim_.now();
+  system_.allocate(job->allocation);
+  // A co-allocated job's tasks synchronise, so its execution stretches by
+  // the slowest cluster it touches (speed 1.0 everywhere in the paper).
+  const double runtime = job->spec.gross_service_time / system_.slowest_speed(job->allocation);
+  utilization_.on_job_start(sim_.now(), job->spec.total_size, runtime,
+                            job->spec.service_time);
+  for (const auto& placement : job->allocation) {
+    cluster_busy_[placement.cluster].update(
+        sim_.now(), static_cast<double>(system_.cluster(placement.cluster).busy()));
+  }
+  sim_.schedule_in(runtime, [this, job]() { on_departure(job); });
+}
+
+void MulticlusterSimulation::on_departure(const JobPtr& job) {
+  system_.release(job->allocation);
+  utilization_.on_job_finish(sim_.now(), job->spec.total_size);
+  for (const auto& placement : job->allocation) {
+    cluster_busy_[placement.cluster].update(
+        sim_.now(), static_cast<double>(system_.cluster(placement.cluster).busy()));
+  }
+  ++completions_;
+
+  if (!measuring_ && completions_ >= warmup_completions_) begin_measurement();
+
+  if (measuring_) {
+    const double response = sim_.now() - job->spec.arrival_time;
+    const double wait = job->start_time - job->spec.arrival_time;
+    result_.response_all.add(response);
+    result_.wait_all.add(wait);
+    response_batches_->add(response);
+    response_p95_.add(response);
+    if (job->queue_class == QueueClass::kLocal) result_.response_local.add(response);
+    else result_.response_global.add(response);
+    if (job->spec.total_size <= 16) result_.response_small.add(response);
+    else if (job->spec.total_size <= 64) result_.response_medium.add(response);
+    else result_.response_large.add(response);
+    result_.slowdown_all.add(response / job->spec.gross_service_time);
+    ++result_.measured_jobs;
+  }
+
+  if (observer_) observer_(*job, sim_.now());
+
+  scheduler_->on_departure();
+  queue_length_.update(sim_.now(), static_cast<double>(scheduler_->queued_jobs()));
+}
+
+void MulticlusterSimulation::begin_measurement() {
+  measuring_ = true;
+  measure_start_time_ = sim_.now();
+  utilization_.reset_at(sim_.now());
+  queue_length_.update(sim_.now(), static_cast<double>(scheduler_->queued_jobs()));
+  queue_length_.reset_at(sim_.now());
+  for (std::uint32_t c = 0; c < cluster_busy_.size(); ++c) {
+    cluster_busy_[c].update(sim_.now(), static_cast<double>(system_.cluster(c).busy()));
+    cluster_busy_[c].reset_at(sim_.now());
+  }
+}
+
+SimulationResult run_simulation(const SimulationConfig& config) {
+  MulticlusterSimulation simulation(config);
+  return simulation.run();
+}
+
+}  // namespace mcsim

@@ -1,0 +1,155 @@
+// The multicluster simulation engine: binds a workload generator, a
+// scheduling policy and the machine model to the DES core, and collects the
+// paper's metrics (response times overall and per queue class, gross and
+// net utilization).
+//
+// A run generates `total_jobs` Poisson arrivals and executes until all of
+// them complete, unless the instability guard trips (a queue exceeding
+// `instability_queue_limit` means the offered load is beyond the policy's
+// maximal utilization — the response time has no steady state there).
+// The first `warmup_fraction` of completions is discarded from all
+// statistics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/multicluster.hpp"
+#include "core/scheduler_factory.hpp"
+#include "sim/simulator.hpp"
+#include "stats/batch_means.hpp"
+#include "stats/percentile.hpp"
+#include "stats/utilization.hpp"
+#include "workload/workload.hpp"
+
+namespace mcsim {
+
+struct SimulationConfig {
+  PolicyKind policy = PolicyKind::kGS;
+  /// Multicluster layout. For SC use a single entry with all processors.
+  std::vector<std::uint32_t> cluster_sizes = {32, 32, 32, 32};
+  /// Relative per-cluster service rates; empty = homogeneous (the paper).
+  /// A co-allocated job runs at the pace of its slowest cluster (extension
+  /// toward the heterogeneous-grid setting the paper motivates).
+  std::vector<double> cluster_speeds;
+  WorkloadConfig workload;
+  PlacementRule placement = PlacementRule::kWorstFit;
+  /// Extension (paper: kNone). GS/SC only.
+  BackfillMode backfill = BackfillMode::kNone;
+  /// Extension (paper: kFcfs). GS/SC only.
+  QueueDiscipline discipline = QueueDiscipline::kFcfs;
+  std::uint64_t seed = 1;
+  /// Number of arrivals to generate.
+  std::uint64_t total_jobs = 50000;
+  /// Fraction of completions discarded as warmup.
+  double warmup_fraction = 0.1;
+  /// A queue longer than this marks the run unstable and stops it early.
+  std::size_t instability_queue_limit = 20000;
+  /// The run is also unstable when, at the moment the last arrival enters,
+  /// more than this fraction of all jobs is still queued — a queue that
+  /// keeps growing to the end of the arrival stream has no steady state.
+  double instability_backlog_fraction = 0.02;
+  /// Batches for the response-time confidence interval.
+  std::uint64_t batch_count = 20;
+
+  [[nodiscard]] std::uint32_t total_processors() const;
+};
+
+struct SimulationResult {
+  std::string policy;
+  bool unstable = false;
+
+  std::uint64_t completed_jobs = 0;
+  std::uint64_t measured_jobs = 0;  // post-warmup completions
+  double end_time = 0.0;
+
+  // Response times (seconds), post-warmup.
+  RunningStats response_all;
+  RunningStats response_local;   // jobs served from local queues (LS, LP)
+  RunningStats response_global;  // jobs served from the global queue (GS, LP, SC)
+  RunningStats wait_all;
+  // Size-class breakdown (Sect. 3.2 discusses how the few very large jobs
+  // dominate performance): small <= 16, medium 17..64, large > 64 CPUs.
+  RunningStats response_small;
+  RunningStats response_medium;
+  RunningStats response_large;
+  ConfidenceInterval response_ci;     // batch-means 95% CI on the mean
+  double response_p95 = 0.0;
+  /// Slowdown = response / gross service time, per job (>= 1).
+  RunningStats slowdown_all;
+  /// Time-averaged number of waiting jobs over the measurement window
+  /// (Little: mean_queue_length ~= arrival_rate * mean wait).
+  double mean_queue_length = 0.0;
+  /// Time-averaged busy fraction per cluster (exposes the hot-cluster
+  /// effect of unbalanced local queues, Sect. 3.1.2).
+  std::vector<double> per_cluster_busy_fraction;
+
+  // Utilization, post-warmup.
+  double offered_gross_utilization = 0.0;  // from arrivals in the window
+  double offered_net_utilization = 0.0;
+  double busy_fraction = 0.0;  // time-averaged busy processors / P
+
+  std::vector<std::size_t> final_queue_lengths;
+  std::uint64_t events_executed = 0;
+
+  [[nodiscard]] double mean_response() const { return response_all.mean(); }
+};
+
+/// Observer invoked as each job completes (after metrics are recorded);
+/// lets callers export the realised schedule, e.g. as an SWF trace.
+using JobObserver = std::function<void(const Job& job, double finish_time)>;
+
+class MulticlusterSimulation final : public SchedulerContext {
+ public:
+  explicit MulticlusterSimulation(SimulationConfig config);
+
+  /// Register an observer called at every job completion. Call before run().
+  void set_job_observer(JobObserver observer) { observer_ = std::move(observer); }
+
+  /// Run to completion and return the metrics. Callable once.
+  SimulationResult run();
+
+  // SchedulerContext:
+  [[nodiscard]] const Multicluster& system() const override { return system_; }
+  [[nodiscard]] double now() const override { return sim_.now(); }
+  void start_job(const JobPtr& job, Allocation allocation) override;
+
+  [[nodiscard]] const SimulationConfig& config() const { return config_; }
+  [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+
+ private:
+  void schedule_next_arrival();
+  void on_arrival(JobSpec spec);
+  void on_departure(const JobPtr& job);
+  void begin_measurement();
+
+  SimulationConfig config_;
+  Simulator sim_;
+  Multicluster system_;
+  WorkloadGenerator generator_;
+  std::unique_ptr<Scheduler> scheduler_;
+  UtilizationTracker utilization_;
+  TimeWeightedStat queue_length_;
+  std::vector<TimeWeightedStat> cluster_busy_;
+  JobObserver observer_;
+  std::unique_ptr<BatchMeans> response_batches_;
+  P2Quantile response_p95_{0.95};
+  SimulationResult result_;
+
+  std::uint64_t arrivals_generated_ = 0;
+  std::uint64_t completions_ = 0;
+  std::uint64_t warmup_completions_ = 0;
+  bool measuring_ = false;
+  double measure_start_time_ = 0.0;
+  double last_arrival_time_ = 0.0;
+  double arrived_gross_work_ = 0.0;  // post-warmup: sum size * gross_service
+  double arrived_net_work_ = 0.0;
+  bool ran_ = false;
+};
+
+/// Convenience: configure + run in one call.
+SimulationResult run_simulation(const SimulationConfig& config);
+
+}  // namespace mcsim

@@ -1,0 +1,28 @@
+// Runtime job state: the immutable JobSpec plus what the scheduler decides
+// (allocation, start time) and a tag recording which queue class served it
+// (for the per-queue response-time breakdown of Fig. 4).
+#pragma once
+
+#include <memory>
+
+#include "cluster/multicluster.hpp"
+#include "workload/workload.hpp"
+
+namespace mcsim {
+
+enum class QueueClass : std::uint8_t { kLocal, kGlobal };
+
+struct Job {
+  explicit Job(JobSpec s) : spec(std::move(s)) {}
+
+  JobSpec spec;
+  Allocation allocation;     // filled when the job starts
+  double start_time = -1.0;  // < 0 while queued
+  QueueClass queue_class = QueueClass::kGlobal;
+
+  [[nodiscard]] bool started() const { return start_time >= 0.0; }
+};
+
+using JobPtr = std::shared_ptr<Job>;
+
+}  // namespace mcsim

@@ -1,0 +1,120 @@
+#include "core/policy_gs.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+PolicyGs::PolicyGs(SchedulerContext& context, PlacementRule placement,
+                   std::string display_name, BackfillMode backfill,
+                   QueueDiscipline discipline)
+    : Scheduler(context, placement),
+      display_name_(std::move(display_name)),
+      backfill_(backfill) {
+  queue_.set_order(make_job_order(discipline));
+}
+
+void PolicyGs::submit(const JobPtr& job) {
+  job->queue_class = QueueClass::kGlobal;
+  queue_.push(job);
+  try_schedule();
+}
+
+void PolicyGs::on_departure() {
+  if (backfill_ != BackfillMode::kNone) {
+    // Prune completed jobs from the running list.
+    const double now = context_.now();
+    std::erase_if(running_, [now](const RunningJob& r) { return r.end_time <= now; });
+  }
+  try_schedule();
+}
+
+void PolicyGs::start_at(std::size_t index, Allocation allocation) {
+  JobPtr job = queue_.remove_at(index);
+  if (backfill_ != BackfillMode::kNone) {
+    running_.push_back(
+        RunningJob{context_.now() + job->spec.gross_service_time, job->spec.total_size});
+  }
+  context_.start_job(job, std::move(allocation));
+}
+
+void PolicyGs::try_schedule() {
+  // FCFS part, common to all modes: start head jobs while they fit.
+  while (!queue_.empty()) {
+    auto allocation = try_place(queue_.front());
+    if (!allocation) break;
+    start_at(0, std::move(*allocation));
+  }
+  if (queue_.size() < 2) return;
+  switch (backfill_) {
+    case BackfillMode::kNone: break;
+    case BackfillMode::kAggressive: backfill_aggressive(); break;
+    case BackfillMode::kEasy: backfill_easy(); break;
+  }
+}
+
+void PolicyGs::backfill_aggressive() {
+  // Scan past the (blocked) head and start anything that fits, in order.
+  std::size_t index = 1;
+  while (index < queue_.size()) {
+    auto allocation = try_place(queue_.at(index));
+    if (allocation) {
+      start_at(index, std::move(*allocation));
+      // Do not advance: the next job shifted into this slot.
+    } else {
+      ++index;
+    }
+  }
+}
+
+std::pair<double, std::uint32_t> PolicyGs::head_reservation() const {
+  MCSIM_ASSERT(!queue_.empty());
+  const std::uint32_t needed = queue_.front()->spec.total_size;
+  std::uint32_t idle = context_.system().total_idle();
+  MCSIM_ASSERT(idle < needed || !running_.empty());
+
+  std::vector<RunningJob> by_end = running_;
+  std::sort(by_end.begin(), by_end.end(),
+            [](const RunningJob& a, const RunningJob& b) { return a.end_time < b.end_time; });
+  for (const RunningJob& job : by_end) {
+    idle += job.processors;
+    if (idle >= needed) {
+      return {job.end_time, idle - needed};
+    }
+  }
+  // Head larger than the machine cannot happen (workload is bounded), but
+  // guard against it so the scheduler degrades to plain FCFS.
+  return {std::numeric_limits<double>::infinity(), 0};
+}
+
+void PolicyGs::backfill_easy() {
+  // The head is blocked: give it a reservation at time t_res, with `extra`
+  // processors spare at that moment. A later job may start now iff it fits
+  // now AND either completes by t_res or leaves the reservation intact
+  // (total size within the spare processors).
+  const auto [t_res, extra] = head_reservation();
+  const double now = context_.now();
+  std::uint32_t spare = extra;
+  std::size_t index = 1;
+  while (index < queue_.size()) {
+    const JobPtr& job = queue_.at(index);
+    const bool ends_in_time = now + job->spec.gross_service_time <= t_res;
+    const bool within_spare = job->spec.total_size <= spare;
+    if (!ends_in_time && !within_spare) {
+      ++index;
+      continue;
+    }
+    auto allocation = try_place(job);
+    if (!allocation) {
+      ++index;
+      continue;
+    }
+    if (!ends_in_time) spare -= job->spec.total_size;
+    start_at(index, std::move(*allocation));
+  }
+}
+
+}  // namespace mcsim

@@ -1,0 +1,67 @@
+// GS — global scheduler, one global queue (paper Sect. 2.5, policy 1).
+//
+// All jobs (single- and multi-component) are submitted to one FCFS queue.
+// The scheduler knows the idle count of every cluster and chooses clusters
+// with Worst Fit for every job, including single-component ones. In the
+// paper's configuration the head job blocks the queue until it fits (no
+// backfilling).
+//
+// SC — the single-cluster comparison case (total requests, FCFS) — is this
+// same policy on a one-cluster system; the factory instantiates it that way.
+//
+// Extension: optional backfilling (BackfillMode). kAggressive starts any
+// queued job that currently fits; kEasy grants the head job a reservation
+// at the earliest time enough processors free up (service times are known
+// exactly in the model — "perfect estimates") and backfills a job only if
+// it cannot delay that reservation. On a single cluster the reservation is
+// exact; on a multicluster it uses the aggregate idle-processor
+// approximation while actual starts still use real per-cluster placement.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/queue.hpp"
+#include "core/scheduler.hpp"
+
+namespace mcsim {
+
+class PolicyGs final : public Scheduler {
+ public:
+  PolicyGs(SchedulerContext& context, PlacementRule placement, std::string display_name = "GS",
+           BackfillMode backfill = BackfillMode::kNone,
+           QueueDiscipline discipline = QueueDiscipline::kFcfs);
+
+  void submit(const JobPtr& job) override;
+  void on_departure() override;
+  [[nodiscard]] std::size_t queued_jobs() const override { return queue_.size(); }
+  [[nodiscard]] std::size_t max_queue_length() const override { return queue_.size(); }
+  [[nodiscard]] std::vector<std::size_t> queue_lengths() const override {
+    return {queue_.size()};
+  }
+  [[nodiscard]] std::string name() const override { return display_name_; }
+  [[nodiscard]] BackfillMode backfill_mode() const { return backfill_; }
+
+ private:
+  struct RunningJob {
+    double end_time;
+    std::uint32_t processors;
+  };
+
+  void try_schedule();
+  /// Start queue_[index] on `allocation` and record it as running.
+  void start_at(std::size_t index, Allocation allocation);
+  void backfill_aggressive();
+  void backfill_easy();
+  /// Earliest time the head job fits, and the processors left over then.
+  /// Uses known completion times of running jobs (aggregate counts).
+  [[nodiscard]] std::pair<double, std::uint32_t> head_reservation() const;
+
+  JobQueue queue_;
+  std::string display_name_;
+  BackfillMode backfill_;
+  std::vector<RunningJob> running_;  // maintained only when backfilling
+};
+
+}  // namespace mcsim

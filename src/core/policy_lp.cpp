@@ -1,0 +1,96 @@
+#include "core/policy_lp.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+PolicyLp::PolicyLp(SchedulerContext& context, PlacementRule placement)
+    : Scheduler(context, placement) {
+  locals_.resize(context_.system().num_clusters());
+}
+
+void PolicyLp::submit(const JobPtr& job) {
+  if (job->spec.needs_coallocation()) {
+    job->queue_class = QueueClass::kGlobal;
+    global_.push(job);
+  } else {
+    const std::uint32_t qid = job->spec.origin_queue;
+    MCSIM_REQUIRE(qid < locals_.size(), "origin queue out of range");
+    job->queue_class = QueueClass::kLocal;
+    locals_[qid].push(job);
+  }
+  try_schedule();
+}
+
+void PolicyLp::on_departure() {
+  // All queues are re-enabled; whether the global queue actually gets
+  // visited still depends on a local queue being empty (checked in the
+  // round loop), which realises "if no local queue is empty only the local
+  // queues are enabled".
+  global_.enable();
+  for (auto& queue : locals_) queue.enable();
+  try_schedule();
+}
+
+bool PolicyLp::some_local_empty() const {
+  return std::any_of(locals_.begin(), locals_.end(),
+                     [](const JobQueue& q) { return q.empty(); });
+}
+
+void PolicyLp::try_schedule() {
+  bool any_started = true;
+  while (any_started) {
+    any_started = false;
+
+    // The global queue is visited first ("they are always enabled starting
+    // with the global queue"), but only while it has priority clearance:
+    // at least one local queue empty and no unfitting head since the last
+    // departure.
+    if (global_.enabled() && !global_.empty() && some_local_empty()) {
+      auto allocation = try_place(global_.front());
+      if (allocation) {
+        context_.start_job(global_.pop(), std::move(*allocation));
+        any_started = true;
+      } else {
+        global_.disable();
+      }
+    }
+
+    for (std::uint32_t qid = 0; qid < locals_.size(); ++qid) {
+      JobQueue& queue = locals_[qid];
+      if (!queue.enabled() || queue.empty()) continue;
+      // Local queues hold single-component jobs restricted to their cluster.
+      auto allocation = try_place_local(queue.front(), qid);
+      if (allocation) {
+        context_.start_job(queue.pop(), std::move(*allocation));
+        any_started = true;
+      } else {
+        queue.disable();
+      }
+    }
+  }
+}
+
+std::size_t PolicyLp::queued_jobs() const {
+  std::size_t total = global_.size();
+  for (const auto& queue : locals_) total += queue.size();
+  return total;
+}
+
+std::size_t PolicyLp::max_queue_length() const {
+  std::size_t longest = global_.size();
+  for (const auto& queue : locals_) longest = std::max(longest, queue.size());
+  return longest;
+}
+
+std::vector<std::size_t> PolicyLp::queue_lengths() const {
+  std::vector<std::size_t> lengths;
+  lengths.reserve(locals_.size() + 1);
+  for (const auto& queue : locals_) lengths.push_back(queue.size());
+  lengths.push_back(global_.size());
+  return lengths;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,44 @@
+// LP — local queues with priority over a global queue (Sect. 2.5, policy 3).
+//
+// Single-component jobs go to their cluster's local queue; all multi-
+// component jobs go to one global queue. The local schedulers have
+// priority: the global queue may only start jobs while at least one local
+// queue is empty. When a job departs, if one or more local queues are
+// empty, both the global queue and the local queues are enabled (the global
+// queue first); if no local queue is empty, only the local queues are
+// enabled, and the global queue joins the visit list as soon as a local
+// queue becomes empty. As in LS, a queue whose head does not fit is
+// disabled until the next departure, and WF chooses the clusters.
+#pragma once
+
+#include <vector>
+
+#include "core/queue.hpp"
+#include "core/scheduler.hpp"
+
+namespace mcsim {
+
+class PolicyLp final : public Scheduler {
+ public:
+  PolicyLp(SchedulerContext& context, PlacementRule placement);
+
+  void submit(const JobPtr& job) override;
+  void on_departure() override;
+  [[nodiscard]] std::size_t queued_jobs() const override;
+  [[nodiscard]] std::size_t max_queue_length() const override;
+  /// Local queue lengths followed by the global queue length.
+  [[nodiscard]] std::vector<std::size_t> queue_lengths() const override;
+  [[nodiscard]] std::string name() const override { return "LP"; }
+
+  [[nodiscard]] std::size_t global_queue_length() const { return global_.size(); }
+
+ private:
+  void try_schedule();
+  /// True while the global queue is allowed into the visit rotation.
+  [[nodiscard]] bool some_local_empty() const;
+
+  std::vector<JobQueue> locals_;
+  JobQueue global_;
+};
+
+}  // namespace mcsim

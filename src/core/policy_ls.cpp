@@ -1,0 +1,88 @@
+#include "core/policy_ls.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+PolicyLs::PolicyLs(SchedulerContext& context, PlacementRule placement)
+    : Scheduler(context, placement) {
+  const std::uint32_t n = context_.system().num_clusters();
+  queues_.resize(n);
+  visit_order_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) visit_order_.push_back(i);
+}
+
+void PolicyLs::submit(const JobPtr& job) {
+  const std::uint32_t qid = job->spec.origin_queue;
+  MCSIM_REQUIRE(qid < queues_.size(), "origin queue out of range");
+  job->queue_class = QueueClass::kLocal;
+  queues_[qid].push(job);
+  try_schedule();
+}
+
+void PolicyLs::on_departure() {
+  // Re-enable in disable order, appending to the visit rotation.
+  for (std::uint32_t qid : disabled_order_) {
+    queues_[qid].enable();
+    visit_order_.push_back(qid);
+  }
+  disabled_order_.clear();
+  try_schedule();
+}
+
+void PolicyLs::try_schedule() {
+  bool any_started = true;
+  while (any_started) {
+    any_started = false;
+    // Snapshot: queues disabled during this round drop out of the rotation
+    // for subsequent rounds but finish being skipped in this one.
+    const std::vector<std::uint32_t> round = visit_order_;
+    for (std::uint32_t qid : round) {
+      JobQueue& queue = queues_[qid];
+      if (!queue.enabled() || queue.empty()) continue;
+      const JobPtr& head = queue.front();
+      // Single-cluster jobs are restricted to the local cluster; wide-area
+      // jobs are co-allocated over the whole system.
+      auto allocation = head->spec.needs_coallocation()
+                            ? try_place(head)
+                            : try_place_local(head, qid);
+      if (allocation) {
+        context_.start_job(queue.pop(), std::move(*allocation));
+        any_started = true;
+      } else {
+        disable_queue(qid);
+      }
+    }
+  }
+}
+
+void PolicyLs::disable_queue(std::uint32_t qid) {
+  MCSIM_ASSERT(queues_[qid].enabled());
+  queues_[qid].disable();
+  disabled_order_.push_back(qid);
+  visit_order_.erase(std::remove(visit_order_.begin(), visit_order_.end(), qid),
+                     visit_order_.end());
+}
+
+std::size_t PolicyLs::queued_jobs() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue.size();
+  return total;
+}
+
+std::size_t PolicyLs::max_queue_length() const {
+  std::size_t longest = 0;
+  for (const auto& queue : queues_) longest = std::max(longest, queue.size());
+  return longest;
+}
+
+std::vector<std::size_t> PolicyLs::queue_lengths() const {
+  std::vector<std::size_t> lengths;
+  lengths.reserve(queues_.size());
+  for (const auto& queue : queues_) lengths.push_back(queue.size());
+  return lengths;
+}
+
+}  // namespace mcsim

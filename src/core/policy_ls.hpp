@@ -1,0 +1,47 @@
+// LS — local schedulers with local queues (paper Sect. 2.5, policy 2).
+//
+// Each cluster has a local FCFS queue receiving both single- and multi-
+// component jobs (which queue a job arrives at is the job's origin_queue,
+// drawn by the workload generator with the balanced/unbalanced weights).
+// Single-component jobs may run only on their local cluster; multi-component
+// jobs are co-allocated over the whole system with Worst Fit.
+//
+// Scheduling protocol: all *enabled* queues are repeatedly visited, and in
+// each round at most one job from each queue is started. When the head of a
+// queue does not fit, that queue is disabled until the next departure from
+// the system; at each departure the queues are re-enabled in the same order
+// in which they were disabled. The rotating visits give LS its implicit
+// backfilling window equal to the number of clusters (Sect. 3.1.1).
+#pragma once
+
+#include <vector>
+
+#include "core/queue.hpp"
+#include "core/scheduler.hpp"
+
+namespace mcsim {
+
+class PolicyLs final : public Scheduler {
+ public:
+  PolicyLs(SchedulerContext& context, PlacementRule placement);
+
+  void submit(const JobPtr& job) override;
+  void on_departure() override;
+  [[nodiscard]] std::size_t queued_jobs() const override;
+  [[nodiscard]] std::size_t max_queue_length() const override;
+  [[nodiscard]] std::vector<std::size_t> queue_lengths() const override;
+  [[nodiscard]] std::string name() const override { return "LS"; }
+
+ private:
+  void try_schedule();
+  void disable_queue(std::uint32_t qid);
+
+  std::vector<JobQueue> queues_;  // one per cluster
+  /// Visiting order of the currently enabled queues (re-enable order is
+  /// preserved across departures, as the paper specifies).
+  std::vector<std::uint32_t> visit_order_;
+  /// Queues disabled since the last departure, in disable order.
+  std::vector<std::uint32_t> disabled_order_;
+};
+
+}  // namespace mcsim

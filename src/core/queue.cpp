@@ -1,0 +1,49 @@
+#include "core/queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+void JobQueue::set_order(JobOrder order) {
+  MCSIM_REQUIRE(jobs_.empty(), "service order must be set before jobs arrive");
+  order_ = std::move(order);
+}
+
+void JobQueue::push(JobPtr job) {
+  MCSIM_REQUIRE(job != nullptr, "cannot enqueue a null job");
+  if (!order_) {
+    jobs_.push_back(std::move(job));
+  } else {
+    // Stable priority insert: after all jobs that are not strictly worse.
+    auto it = jobs_.begin();
+    while (it != jobs_.end() && !order_(job, *it)) ++it;
+    jobs_.insert(it, std::move(job));
+  }
+  ++total_enqueued_;
+}
+
+const JobPtr& JobQueue::front() const {
+  MCSIM_REQUIRE(!jobs_.empty(), "queue is empty");
+  return jobs_.front();
+}
+
+JobPtr JobQueue::pop() {
+  MCSIM_REQUIRE(!jobs_.empty(), "queue is empty");
+  JobPtr job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+const JobPtr& JobQueue::at(std::size_t index) const {
+  MCSIM_REQUIRE(index < jobs_.size(), "queue index out of range");
+  return jobs_[index];
+}
+
+JobPtr JobQueue::remove_at(std::size_t index) {
+  MCSIM_REQUIRE(index < jobs_.size(), "queue index out of range");
+  JobPtr job = std::move(jobs_[index]);
+  jobs_.erase(jobs_.begin() + static_cast<long>(index));
+  return job;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,50 @@
+// FCFS job queue with the enable/disable state of the paper's scheduling
+// protocol (Sect. 2.5): a queue whose head job does not fit is disabled
+// until the next departure from the system.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/job.hpp"
+
+namespace mcsim {
+
+/// Queue ordering predicate: `a` before `b` means `a` is served first.
+/// Insertion is stable (FCFS among equals).
+using JobOrder = std::function<bool(const JobPtr& a, const JobPtr& b)>;
+
+class JobQueue {
+ public:
+  /// Set a non-FCFS service order (extension; the paper is FCFS-only).
+  /// Must be called while the queue is empty.
+  void set_order(JobOrder order);
+
+  void push(JobPtr job);
+  [[nodiscard]] const JobPtr& front() const;
+  JobPtr pop();
+
+  /// Random access for the backfilling schedulers (index 0 is the head).
+  [[nodiscard]] const JobPtr& at(std::size_t index) const;
+  /// Remove and return the job at `index` (backfill start out of order).
+  JobPtr remove_at(std::size_t index);
+
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+
+  /// Total jobs ever enqueued (for sanity checks).
+  [[nodiscard]] std::uint64_t total_enqueued() const { return total_enqueued_; }
+
+ private:
+  std::deque<JobPtr> jobs_;
+  JobOrder order_;  // null = FCFS
+  bool enabled_ = true;
+  std::uint64_t total_enqueued_ = 0;
+};
+
+}  // namespace mcsim

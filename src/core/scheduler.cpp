@@ -1,0 +1,72 @@
+#include "core/scheduler.hpp"
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+const char* backfill_mode_name(BackfillMode mode) {
+  switch (mode) {
+    case BackfillMode::kNone: return "fcfs";
+    case BackfillMode::kAggressive: return "aggressive-bf";
+    case BackfillMode::kEasy: return "easy-bf";
+  }
+  return "?";
+}
+
+const char* queue_discipline_name(QueueDiscipline discipline) {
+  switch (discipline) {
+    case QueueDiscipline::kFcfs: return "fcfs";
+    case QueueDiscipline::kShortestJobFirst: return "sjf";
+    case QueueDiscipline::kLongestJobFirst: return "ljf";
+    case QueueDiscipline::kSmallestFirst: return "smallest-first";
+    case QueueDiscipline::kLargestFirst: return "largest-first";
+  }
+  return "?";
+}
+
+JobOrder make_job_order(QueueDiscipline discipline) {
+  switch (discipline) {
+    case QueueDiscipline::kFcfs:
+      return nullptr;
+    case QueueDiscipline::kShortestJobFirst:
+      return [](const JobPtr& a, const JobPtr& b) {
+        return a->spec.gross_service_time < b->spec.gross_service_time;
+      };
+    case QueueDiscipline::kLongestJobFirst:
+      return [](const JobPtr& a, const JobPtr& b) {
+        return a->spec.gross_service_time > b->spec.gross_service_time;
+      };
+    case QueueDiscipline::kSmallestFirst:
+      return [](const JobPtr& a, const JobPtr& b) {
+        return a->spec.total_size < b->spec.total_size;
+      };
+    case QueueDiscipline::kLargestFirst:
+      return [](const JobPtr& a, const JobPtr& b) {
+        return a->spec.total_size > b->spec.total_size;
+      };
+  }
+  return nullptr;
+}
+
+std::optional<Allocation> Scheduler::try_place(const JobPtr& job) const {
+  const auto idle = context_.system().idle_counts();
+  switch (job->spec.request_type) {
+    case RequestType::kOrdered:
+      return place_ordered(job->spec.components, job->spec.ordered_clusters, idle);
+    case RequestType::kFlexible:
+      return place_flexible(job->spec.total_size, idle);
+    case RequestType::kUnordered:
+    case RequestType::kTotal:
+      return place_components(job->spec.components, idle, placement_);
+  }
+  return std::nullopt;
+}
+
+std::optional<Allocation> Scheduler::try_place_local(const JobPtr& job,
+                                                     ClusterId cluster) const {
+  MCSIM_ASSERT(job->spec.components.size() == 1);
+  return place_on_cluster(job->spec.components.front(), cluster,
+                          context_.system().idle_counts());
+}
+
+}  // namespace mcsim

@@ -1,0 +1,99 @@
+// Scheduler interface (paper Sect. 2.5).
+//
+// A Scheduler owns the queue structure of one policy. The engine feeds it
+// arrivals via submit() and notifies it of departures via on_departure();
+// the scheduler starts jobs through its SchedulerContext, which performs the
+// allocation and schedules the departure event. All policies use FCFS
+// within each queue.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/multicluster.hpp"
+#include "cluster/placement.hpp"
+#include "core/job.hpp"
+#include "core/queue.hpp"
+
+namespace mcsim {
+
+/// Backfilling mode for the single-queue policies (GS, SC) — an extension
+/// beyond the paper, which uses plain FCFS. LS's rotation already gives a
+/// C-wide backfilling window (Sect. 3.1.1); these modes give SC/GS one too.
+enum class BackfillMode : std::uint8_t {
+  kNone,        // paper: strict FCFS, head-of-line blocking
+  kAggressive,  // start any queued job that fits (no reservation; may starve)
+  kEasy         // EASY: backfill only if the head job's reservation holds
+};
+
+const char* backfill_mode_name(BackfillMode mode);
+
+/// Service order within the global queue (extension; the paper is FCFS).
+enum class QueueDiscipline : std::uint8_t {
+  kFcfs,              // arrival order (the paper)
+  kShortestJobFirst,  // by gross service time (classic response-time winner)
+  kLongestJobFirst,   // by gross service time, reversed
+  kSmallestFirst,     // by total processor count (easy fits first)
+  kLargestFirst       // by total processor count, reversed
+};
+
+const char* queue_discipline_name(QueueDiscipline discipline);
+
+/// The JobQueue ordering for a discipline (nullptr for FCFS).
+JobOrder make_job_order(QueueDiscipline discipline);
+
+/// The slice of the engine a policy is allowed to see: global knowledge of
+/// idle processors, and the ability to start a job on an allocation.
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+  [[nodiscard]] virtual const Multicluster& system() const = 0;
+  /// Current simulation time (the backfilling variants reason about job
+  /// completion times).
+  [[nodiscard]] virtual double now() const = 0;
+  /// Start `job` on `allocation` now; the engine allocates the processors
+  /// and schedules the departure.
+  virtual void start_job(const JobPtr& job, Allocation allocation) = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler(SchedulerContext& context, PlacementRule placement)
+      : context_(context), placement_(placement) {}
+  virtual ~Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// A job arrived (already tagged with its submission queue).
+  virtual void submit(const JobPtr& job) = 0;
+
+  /// A job departed: re-enable queues per the policy's protocol and try to
+  /// start queued jobs.
+  virtual void on_departure() = 0;
+
+  /// Jobs currently waiting in all queues.
+  [[nodiscard]] virtual std::size_t queued_jobs() const = 0;
+
+  /// Length of the longest single queue (instability detection).
+  [[nodiscard]] virtual std::size_t max_queue_length() const = 0;
+
+  /// Per-queue lengths, for diagnostics.
+  [[nodiscard]] virtual std::vector<std::size_t> queue_lengths() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// WF (or the configured rule) placement of an unordered request over the
+  /// whole system; single-component jobs are a 1-tuple.
+  [[nodiscard]] std::optional<Allocation> try_place(const JobPtr& job) const;
+
+  /// Placement of a single-component job restricted to its local cluster.
+  [[nodiscard]] std::optional<Allocation> try_place_local(const JobPtr& job,
+                                                          ClusterId cluster) const;
+
+  SchedulerContext& context_;
+  PlacementRule placement_;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,64 @@
+#include "core/scheduler_factory.hpp"
+
+#include "core/policy_gs.hpp"
+#include "core/policy_lp.hpp"
+#include "core/policy_ls.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace mcsim {
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kGS: return "GS";
+    case PolicyKind::kLS: return "LS";
+    case PolicyKind::kLP: return "LP";
+    case PolicyKind::kSC: return "SC";
+  }
+  return "?";
+}
+
+PolicyKind parse_policy(const std::string& name) {
+  const std::string lower = to_lower(name);
+  if (lower == "gs") return PolicyKind::kGS;
+  if (lower == "ls") return PolicyKind::kLS;
+  if (lower == "lp") return PolicyKind::kLP;
+  if (lower == "sc") return PolicyKind::kSC;
+  MCSIM_REQUIRE(false, "unknown policy: " + name + " (expected GS, LS, LP, or SC)");
+  return PolicyKind::kGS;
+}
+
+bool is_single_cluster_policy(PolicyKind kind) { return kind == PolicyKind::kSC; }
+
+std::unique_ptr<Scheduler> make_scheduler(PolicyKind kind, SchedulerContext& context,
+                                          PlacementRule placement, BackfillMode backfill,
+                                          QueueDiscipline discipline) {
+  const bool single_queue = kind == PolicyKind::kGS || kind == PolicyKind::kSC;
+  MCSIM_REQUIRE(backfill == BackfillMode::kNone || single_queue,
+                "backfilling is implemented for the single-queue policies (GS, SC)");
+  MCSIM_REQUIRE(discipline == QueueDiscipline::kFcfs || single_queue,
+                "queue disciplines are implemented for the single-queue policies (GS, SC)");
+  std::string name = policy_name(kind);
+  if (single_queue && backfill != BackfillMode::kNone) {
+    name += std::string("+") + backfill_mode_name(backfill);
+  }
+  if (single_queue && discipline != QueueDiscipline::kFcfs) {
+    name += std::string("+") + queue_discipline_name(discipline);
+  }
+  switch (kind) {
+    case PolicyKind::kGS:
+      return std::make_unique<PolicyGs>(context, placement, name, backfill, discipline);
+    case PolicyKind::kSC:
+      MCSIM_REQUIRE(context.system().num_clusters() == 1,
+                    "SC must run on a single-cluster system");
+      return std::make_unique<PolicyGs>(context, placement, name, backfill, discipline);
+    case PolicyKind::kLS:
+      return std::make_unique<PolicyLs>(context, placement);
+    case PolicyKind::kLP:
+      return std::make_unique<PolicyLp>(context, placement);
+  }
+  MCSIM_REQUIRE(false, "unknown policy kind");
+  return nullptr;
+}
+
+}  // namespace mcsim

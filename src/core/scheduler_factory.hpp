@@ -1,0 +1,29 @@
+// Policy names and construction (Sect. 2.5): GS, LS, LP on the multicluster,
+// SC on the equivalent single cluster.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/scheduler.hpp"
+
+namespace mcsim {
+
+enum class PolicyKind { kGS, kLS, kLP, kSC };
+
+const char* policy_name(PolicyKind kind);
+PolicyKind parse_policy(const std::string& name);
+
+/// Whether the policy runs on a single cluster holding all processors (SC)
+/// rather than the multicluster.
+bool is_single_cluster_policy(PolicyKind kind);
+
+/// Construct the scheduler for `kind` bound to `context`. Backfilling (an
+/// extension; the paper uses kNone) applies to the single-queue policies
+/// GS and SC only.
+std::unique_ptr<Scheduler> make_scheduler(PolicyKind kind, SchedulerContext& context,
+                                          PlacementRule placement = PlacementRule::kWorstFit,
+                                          BackfillMode backfill = BackfillMode::kNone,
+                                          QueueDiscipline discipline = QueueDiscipline::kFcfs);
+
+}  // namespace mcsim

@@ -1,0 +1,27 @@
+// Gnuplot output: turn a figure panel into a .dat + .gp file pair so the
+// paper's figures can be regenerated as actual plots
+// (`gnuplot fig3_limit16.gp` -> fig3_limit16.png).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+
+namespace mcsim {
+
+struct GnuplotFiles {
+  std::string data_path;
+  std::string script_path;
+};
+
+/// Write `<basename>.dat` (one block per series: utilization, response,
+/// ci95) and `<basename>.gp` (a ready-to-run script in the paper's axis
+/// style: response time 0..10000 s over utilization 0..1).
+/// `directory` must exist. Returns the generated paths.
+GnuplotFiles write_gnuplot_panel(const std::string& directory, const std::string& basename,
+                                 const std::string& title,
+                                 const std::vector<SweepSeries>& series,
+                                 double y_max = 10000.0);
+
+}  // namespace mcsim

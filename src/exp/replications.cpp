@@ -1,0 +1,33 @@
+#include "exp/replications.hpp"
+
+#include "stats/welford.hpp"
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+ReplicationResult run_replications(const PaperScenario& scenario,
+                                   double target_gross_utilization,
+                                   std::uint64_t jobs_per_replication,
+                                   std::uint32_t replications, std::uint64_t base_seed) {
+  MCSIM_REQUIRE(replications > 0, "need at least one replication");
+  ReplicationResult result;
+  RunningStats means;
+  RunningStats busy;
+  for (std::uint32_t r = 0; r < replications; ++r) {
+    const auto config = make_paper_config(scenario, target_gross_utilization,
+                                          jobs_per_replication, base_seed + r);
+    const auto run = run_simulation(config);
+    if (run.unstable) {
+      ++result.unstable_replications;
+      continue;
+    }
+    result.replication_means.push_back(run.mean_response());
+    means.add(run.mean_response());
+    busy.add(run.busy_fraction);
+  }
+  result.response_ci = mean_confidence(means);
+  result.mean_busy_fraction = busy.mean();
+  return result;
+}
+
+}  // namespace mcsim

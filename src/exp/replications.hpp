@@ -1,0 +1,38 @@
+// Independent replications: run the same scenario/load R times with
+// different seeds and combine the per-run means into a replication-level
+// confidence interval. Complements the single-run batch-means CI — the
+// replication CI is unbiased by residual autocorrelation and is what a
+// careful study quotes for headline numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "stats/confidence.hpp"
+
+namespace mcsim {
+
+struct ReplicationResult {
+  /// Per-replication mean responses (one entry per stable replication).
+  std::vector<double> replication_means;
+  /// Replications that went unstable (excluded from the CI).
+  std::uint32_t unstable_replications = 0;
+  /// CI over the replication means.
+  ConfidenceInterval response_ci;
+  /// Pooled mean busy fraction over stable replications.
+  double mean_busy_fraction = 0.0;
+
+  [[nodiscard]] std::uint32_t stable_replications() const {
+    return static_cast<std::uint32_t>(replication_means.size());
+  }
+};
+
+/// Run `replications` independent runs (seeds base_seed, base_seed+1, ...).
+ReplicationResult run_replications(const PaperScenario& scenario,
+                                   double target_gross_utilization,
+                                   std::uint64_t jobs_per_replication,
+                                   std::uint32_t replications,
+                                   std::uint64_t base_seed = 1);
+
+}  // namespace mcsim

@@ -1,0 +1,44 @@
+#include "exp/sweep.hpp"
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace mcsim {
+
+std::vector<double> SweepConfig::grid(double lo, double hi, double step) {
+  std::vector<double> points;
+  for (double u = lo; u <= hi + step * 1e-9; u += step) points.push_back(u);
+  return points;
+}
+
+double SweepSeries::max_stable_utilization() const {
+  double best = 0.0;
+  for (const auto& point : points) {
+    if (!point.result.unstable && point.target_gross_utilization > best) {
+      best = point.target_gross_utilization;
+    }
+  }
+  return best;
+}
+
+SweepSeries run_sweep(const PaperScenario& scenario, const SweepConfig& config) {
+  SweepSeries series;
+  series.scenario = scenario;
+  for (double util : config.target_utilizations) {
+    SimulationConfig sim_config =
+        make_paper_config(scenario, util, config.jobs_per_point, config.seed);
+    SweepPoint point;
+    point.target_gross_utilization = util;
+    point.result = run_simulation(sim_config);
+    MCSIM_LOG(kInfo) << scenario.label() << " @ rho=" << format_util(util)
+                     << (point.result.unstable
+                             ? " UNSTABLE"
+                             : " mean response " + format_double(point.result.mean_response(), 1));
+    const bool unstable = point.result.unstable;
+    series.points.push_back(std::move(point));
+    if (unstable) break;  // all higher loads are unstable too
+  }
+  return series;
+}
+
+}  // namespace mcsim

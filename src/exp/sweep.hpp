@@ -1,0 +1,39 @@
+// Utilization sweeps: the response-time-vs-utilization curves of
+// Figs. 3, 5, 6 and 7. For each target gross utilization on a grid, one
+// steady-state run is made; the sweep stops early once a point is unstable
+// (every higher point would be too), which is how the curves' vertical
+// asymptotes — the maximal utilizations — appear.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace mcsim {
+
+struct SweepConfig {
+  std::vector<double> target_utilizations;
+  std::uint64_t jobs_per_point = 30000;
+  std::uint64_t seed = 1;
+
+  /// Grid from `lo` to `hi` in steps of `step` (inclusive, fp-safe).
+  static std::vector<double> grid(double lo, double hi, double step);
+};
+
+struct SweepPoint {
+  double target_gross_utilization = 0.0;
+  SimulationResult result;
+};
+
+struct SweepSeries {
+  PaperScenario scenario;
+  std::vector<SweepPoint> points;
+
+  /// Highest target utilization with a stable result (0 if none).
+  [[nodiscard]] double max_stable_utilization() const;
+};
+
+SweepSeries run_sweep(const PaperScenario& scenario, const SweepConfig& config);
+
+}  // namespace mcsim

@@ -1,0 +1,88 @@
+#include "sim/calendar.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+EventId Calendar::push(double time) {
+  const EventId id = next_id_++;
+  heap_push(Entry{time, next_seq_++, id});
+  ++live_count_;
+  return id;
+}
+
+bool Calendar::cancel(EventId id) {
+  if (id == kNoEvent || id >= next_id_) return false;
+  if (cancelled_.count(id)) return false;
+  // We cannot cheaply verify the id is still in the heap; callers only hold
+  // ids of pending events, and pop() erases fired ids from scope by
+  // returning them, so a double-cancel is the only misuse — guarded above.
+  cancelled_.insert(id);
+  if (live_count_ == 0) return false;
+  --live_count_;
+  return true;
+}
+
+double Calendar::next_time() {
+  skip_cancelled();
+  MCSIM_REQUIRE(!heap_.empty(), "calendar is empty");
+  return heap_.front().time;
+}
+
+Calendar::Entry Calendar::pop() {
+  skip_cancelled();
+  MCSIM_REQUIRE(!heap_.empty(), "calendar is empty");
+  Entry top = heap_.front();
+  heap_pop();
+  MCSIM_ASSERT(live_count_ > 0);
+  --live_count_;
+  return top;
+}
+
+void Calendar::clear() {
+  heap_.clear();
+  cancelled_.clear();
+  live_count_ = 0;
+}
+
+void Calendar::heap_push(Entry entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Calendar::heap_pop() {
+  MCSIM_ASSERT(!heap_.empty());
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t smallest = i;
+    if (l < n && less(heap_[l], heap_[smallest])) smallest = l;
+    if (r < n && less(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void Calendar::skip_cancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_pop();
+  }
+}
+
+}  // namespace mcsim

@@ -1,0 +1,57 @@
+// Pending-event calendar: a binary min-heap ordered by (time, sequence).
+//
+// The sequence number makes simultaneous events fire in scheduling order,
+// which keeps runs deterministic. Cancellation is lazy: cancelled ids stay
+// in the heap and are skipped on pop; the cancelled-id set is kept small by
+// erasing ids as their entries surface.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace mcsim {
+
+class Calendar {
+ public:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    EventId id;
+  };
+
+  /// Insert an event; returns its id.
+  EventId push(double time);
+
+  /// Cancel by id; returns false if the id is not pending.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Timestamp of the earliest live event; requires !empty().
+  [[nodiscard]] double next_time();
+
+  /// Pop the earliest live event; requires !empty().
+  Entry pop();
+
+  void clear();
+
+ private:
+  void heap_push(Entry entry);
+  void heap_pop();
+  void skip_cancelled();
+  [[nodiscard]] static bool less(const Entry& a, const Entry& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,19 @@
+// Event primitives for the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace mcsim {
+
+/// Opaque handle for a scheduled event; valid until the event fires or is
+/// cancelled. Id 0 is never issued ("no event").
+using EventId = std::uint64_t;
+
+inline constexpr EventId kNoEvent = 0;
+
+/// Event payload. Handlers run at the event's timestamp with the simulator
+/// clock already advanced.
+using EventHandler = std::function<void()>;
+
+}  // namespace mcsim

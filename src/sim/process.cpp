@@ -1,0 +1,49 @@
+#include "sim/process.hpp"
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+Resource::Resource(Simulator& sim, std::uint32_t capacity)
+    : sim_(sim), capacity_(capacity), available_(capacity) {
+  MCSIM_REQUIRE(capacity > 0, "resource capacity must be positive");
+}
+
+bool Resource::AcquireAwaitable::await_ready() noexcept {
+  // Fast path only when nobody is queued (FIFO: no barging past waiters).
+  if (resource_.waiting_.empty() && units_ <= resource_.available_) {
+    resource_.available_ -= units_;
+    return true;
+  }
+  return false;
+}
+
+void Resource::AcquireAwaitable::await_suspend(std::coroutine_handle<> handle) {
+  resource_.waiting_.push_back(Waiter{handle, units_});
+}
+
+Resource::AcquireAwaitable Resource::acquire(std::uint32_t units) {
+  MCSIM_REQUIRE(units > 0 && units <= capacity_,
+                "acquire request exceeds resource capacity");
+  return AcquireAwaitable(*this, units);
+}
+
+void Resource::release(std::uint32_t units) {
+  MCSIM_REQUIRE(available_ + units <= capacity_, "released more units than acquired");
+  available_ += units;
+  grant_waiters();
+}
+
+void Resource::grant_waiters() {
+  // Wake heads whose requests now fit. Resumption is deferred through the
+  // calendar so it happens in deterministic event order, after the caller
+  // of release() finishes its own step.
+  while (!waiting_.empty() && waiting_.front().units <= available_) {
+    const Waiter waiter = waiting_.front();
+    waiting_.pop_front();
+    available_ -= waiter.units;
+    sim_.schedule_in(0.0, [handle = waiter.handle] { handle.resume(); });
+  }
+}
+
+}  // namespace mcsim

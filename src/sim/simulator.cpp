@@ -1,0 +1,69 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+EventId Simulator::schedule_at(double when, EventHandler handler) {
+  MCSIM_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  MCSIM_REQUIRE(handler != nullptr, "event handler must be callable");
+  const EventId id = calendar_.push(when);
+  handlers_.emplace(id, std::move(handler));
+  return id;
+}
+
+EventId Simulator::schedule_in(double delay, EventHandler handler) {
+  MCSIM_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!calendar_.cancel(id)) return false;
+  handlers_.erase(id);
+  return true;
+}
+
+bool Simulator::step() {
+  if (calendar_.empty()) return false;
+  dispatch(calendar_.pop());
+  return true;
+}
+
+void Simulator::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+}
+
+void Simulator::run_until(double until) {
+  MCSIM_REQUIRE(until >= now_, "cannot run backwards");
+  stop_requested_ = false;
+  while (!stop_requested_ && !calendar_.empty() && calendar_.next_time() <= until) {
+    dispatch(calendar_.pop());
+  }
+  if (!stop_requested_ && now_ < until) now_ = until;
+}
+
+void Simulator::reset() {
+  calendar_.clear();
+  handlers_.clear();
+  now_ = 0.0;
+  stop_requested_ = false;
+  executed_ = 0;
+}
+
+void Simulator::dispatch(const Calendar::Entry& entry) {
+  MCSIM_ASSERT(entry.time >= now_);
+  now_ = entry.time;
+  auto it = handlers_.find(entry.id);
+  MCSIM_ASSERT(it != handlers_.end());
+  // Move the handler out before erasing so it may schedule/cancel freely.
+  EventHandler handler = std::move(it->second);
+  handlers_.erase(it);
+  ++executed_;
+  handler();
+}
+
+}  // namespace mcsim

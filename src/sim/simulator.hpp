@@ -1,0 +1,69 @@
+// The discrete-event simulator: clock + calendar + handler dispatch.
+//
+// This is the CSIM18 substitute (see DESIGN.md). The paper's model needs
+// only timed events (arrivals, departures) and deterministic tie-breaking;
+// process-orientation in CSIM is a convenience we do not require.
+//
+// Usage:
+//   Simulator sim;
+//   sim.schedule_in(1.5, [&]{ ... });
+//   sim.run();                       // until calendar empty or stop()
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/calendar.hpp"
+#include "sim/event.hpp"
+
+namespace mcsim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time (seconds).
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedule `handler` at absolute time `when` (>= now). Returns the event id.
+  EventId schedule_at(double when, EventHandler handler);
+
+  /// Schedule `handler` after `delay` (>= 0).
+  EventId schedule_in(double delay, EventHandler handler);
+
+  /// Cancel a pending event; returns false if it already fired or was cancelled.
+  bool cancel(EventId id);
+
+  /// Execute the next event; returns false if the calendar is empty.
+  bool step();
+
+  /// Run until the calendar drains or stop() is called.
+  void run();
+
+  /// Run until the clock would pass `until`; events at exactly `until` fire.
+  void run_until(double until);
+
+  /// Request the current run()/run_until() loop to return after the current
+  /// handler. Safe to call from inside a handler.
+  void stop() { stop_requested_ = true; }
+  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+
+  [[nodiscard]] std::size_t pending_events() const { return calendar_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  /// Drop all pending events and reset the clock to zero.
+  void reset();
+
+ private:
+  void dispatch(const Calendar::Entry& entry);
+
+  Calendar calendar_;
+  std::unordered_map<EventId, EventHandler> handlers_;
+  double now_ = 0.0;
+  bool stop_requested_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,70 @@
+#include "stats/autocorrelation.hpp"
+
+#include <cmath>
+
+namespace mcsim {
+
+namespace {
+double series_mean(const std::vector<double>& series) {
+  double sum = 0.0;
+  for (double x : series) sum += x;
+  return sum / static_cast<double>(series.size());
+}
+}  // namespace
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  const std::size_t n = series.size();
+  if (n < 2 || lag >= n) return 0.0;
+  const double mean = series_mean(series);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = series[i] - mean;
+    den += d * d;
+    if (i + lag < n) num += d * (series[i + lag] - mean);
+  }
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+std::vector<double> autocorrelation_function(const std::vector<double>& series,
+                                             std::size_t max_lag) {
+  std::vector<double> acf;
+  acf.reserve(max_lag + 1);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    acf.push_back(autocorrelation(series, lag));
+  }
+  return acf;
+}
+
+double von_neumann_ratio(const std::vector<double>& series) {
+  const std::size_t n = series.size();
+  if (n < 2) return 2.0;
+  const double mean = series_mean(series);
+  double diff_sq = 0.0;
+  double var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = series[i] - mean;
+    var += d * d;
+    if (i + 1 < n) {
+      const double step = series[i + 1] - series[i];
+      diff_sq += step * step;
+    }
+  }
+  if (var == 0.0) return 2.0;
+  return (diff_sq / static_cast<double>(n - 1)) / (var / static_cast<double>(n));
+}
+
+double effective_sample_size(const std::vector<double>& series, std::size_t max_lag) {
+  const std::size_t n = series.size();
+  if (n < 2) return static_cast<double>(n);
+  double tail = 0.0;
+  for (std::size_t lag = 1; lag <= max_lag && lag < n; ++lag) {
+    const double rho = autocorrelation(series, lag);
+    if (rho <= 0.0) break;  // standard positive-prefix truncation
+    tail += rho;
+  }
+  return static_cast<double>(n) / (1.0 + 2.0 * tail);
+}
+
+}  // namespace mcsim

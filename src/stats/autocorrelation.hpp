@@ -1,0 +1,28 @@
+// Autocorrelation diagnostics for output analysis: the batch-means CI is
+// only trustworthy when the batch means are (nearly) uncorrelated; these
+// helpers measure that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcsim {
+
+/// Sample autocorrelation of `series` at `lag` (biased estimator, the
+/// standard choice). Returns 0 for degenerate input.
+double autocorrelation(const std::vector<double>& series, std::size_t lag);
+
+/// Autocorrelation function up to max_lag (inclusive); acf[0] == 1.
+std::vector<double> autocorrelation_function(const std::vector<double>& series,
+                                             std::size_t max_lag);
+
+/// Von Neumann ratio: mean squared successive difference / variance.
+/// ~2 for independent data; << 2 for positively correlated series.
+double von_neumann_ratio(const std::vector<double>& series);
+
+/// Effective sample size n / (1 + 2 * sum of positive-prefix ACF), the
+/// standard correction for correlated output series.
+double effective_sample_size(const std::vector<double>& series,
+                             std::size_t max_lag = 64);
+
+}  // namespace mcsim

@@ -1,0 +1,49 @@
+// Batch-means output analysis for steady-state simulations.
+//
+// Response-time observations inside one long run are autocorrelated, so the
+// naive i.i.d. CI is too narrow. We group consecutive observations into
+// batches; batch means are approximately independent for large batches, and
+// the CI is computed over them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/welford.hpp"
+
+namespace mcsim {
+
+class BatchMeans {
+ public:
+  /// `batch_size` observations per batch (the final partial batch is dropped).
+  explicit BatchMeans(std::uint64_t batch_size);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t batch_size() const { return batch_size_; }
+  [[nodiscard]] std::size_t completed_batches() const { return batch_means_.size(); }
+  [[nodiscard]] const std::vector<double>& means() const { return batch_means_; }
+
+  /// Grand mean over completed batches (falls back to the raw mean of all
+  /// observations if no batch completed).
+  [[nodiscard]] double grand_mean() const;
+
+  /// CI over completed batch means.
+  [[nodiscard]] ConfidenceInterval confidence(double confidence = 0.95) const;
+
+  /// Lag-1 autocorrelation of the batch means; near zero indicates the
+  /// batches are large enough.
+  [[nodiscard]] double lag1_autocorrelation() const;
+
+  [[nodiscard]] std::uint64_t total_observations() const { return all_.count(); }
+  [[nodiscard]] const RunningStats& raw() const { return all_; }
+
+ private:
+  std::uint64_t batch_size_;
+  RunningStats current_;
+  RunningStats all_;
+  std::vector<double> batch_means_;
+};
+
+}  // namespace mcsim

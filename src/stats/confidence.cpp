@@ -1,0 +1,133 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+double normal_quantile(double p) {
+  MCSIM_REQUIRE(p > 0.0 && p < 1.0, "normal_quantile needs p in (0,1)");
+  // Peter Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1 - p_low;
+  double q, r, x;
+  if (p < p_low) {
+    q = std::sqrt(-2 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  } else if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  } else {
+    q = std::sqrt(-2 * std::log(1 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  return x;
+}
+
+namespace {
+
+// Regularised incomplete beta I_x(a, b) via continued fraction (Lentz).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double incbeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_bt = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                       a * std::log(x) + b * std::log(1.0 - x);
+  const double bt = std::exp(ln_bt);
+  if (x < (a + 1.0) / (a + b + 2.0)) return bt * betacf(a, b, x) / a;
+  return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+// CDF of Student's t with `dof` degrees of freedom.
+double t_cdf(double t, double dof) {
+  const double x = dof / (dof + t * t);
+  const double p = 0.5 * incbeta(dof / 2.0, 0.5, x);
+  return t > 0 ? 1.0 - p : p;
+}
+
+}  // namespace
+
+double t_critical(std::int64_t dof, double confidence) {
+  MCSIM_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+  if (dof <= 0) return std::numeric_limits<double>::infinity();
+  const double p = 1.0 - (1.0 - confidence) / 2.0;
+  if (dof > 2000) return normal_quantile(p);
+  // Bisection on the t CDF; bracket generously.
+  double lo = 0.0, hi = 1000.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (t_cdf(mid, static_cast<double>(dof)) < p) lo = mid;
+    else hi = mid;
+    if (hi - lo < 1e-10) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double ConfidenceInterval::relative() const {
+  if (mean == 0.0) return std::numeric_limits<double>::infinity();
+  return halfwidth / std::fabs(mean);
+}
+
+ConfidenceInterval mean_confidence(const RunningStats& stats, double confidence) {
+  ConfidenceInterval ci;
+  ci.mean = stats.mean();
+  if (stats.count() < 2) {
+    ci.halfwidth = std::numeric_limits<double>::infinity();
+    return ci;
+  }
+  const double se = stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+  ci.halfwidth = t_critical(static_cast<std::int64_t>(stats.count()) - 1, confidence) * se;
+  return ci;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,33 @@
+// Confidence intervals on sample means.
+//
+// Student-t critical values are computed from the incomplete-beta inverse
+// (no table lookup), so any confidence level and degrees of freedom work.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/welford.hpp"
+
+namespace mcsim {
+
+/// Two-sided Student-t critical value t_{dof, 1-alpha/2}.
+/// For dof <= 0 returns infinity; for very large dof converges to the normal
+/// quantile.
+double t_critical(std::int64_t dof, double confidence = 0.95);
+
+/// Standard normal quantile (Acklam's rational approximation, |err| < 1e-9).
+double normal_quantile(double p);
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double halfwidth = 0.0;
+  [[nodiscard]] double lo() const { return mean - halfwidth; }
+  [[nodiscard]] double hi() const { return mean + halfwidth; }
+  /// Relative precision: halfwidth / |mean| (infinity if mean == 0).
+  [[nodiscard]] double relative() const;
+};
+
+/// CI for the mean of i.i.d. samples summarised by `stats`.
+ConfidenceInterval mean_confidence(const RunningStats& stats, double confidence = 0.95);
+
+}  // namespace mcsim

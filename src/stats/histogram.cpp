@@ -1,0 +1,76 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  MCSIM_REQUIRE(hi > lo, "histogram range must be non-empty");
+  MCSIM_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge at hi_
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+double Histogram::bin_mid(std::size_t i) const { return bin_lo(i) + width_ / 2.0; }
+
+double Histogram::fraction(std::size_t i) const {
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(in_range);
+}
+
+void DiscreteHistogram::add(std::int64_t value, std::uint64_t weight) {
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t DiscreteHistogram::count(std::int64_t value) const {
+  auto it = counts_.find(value);
+  return it != counts_.end() ? it->second : 0;
+}
+
+double DiscreteHistogram::fraction(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+double DiscreteHistogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [value, count] : counts_)
+    sum += static_cast<double>(value) * static_cast<double>(count);
+  return sum / static_cast<double>(total_);
+}
+
+double DiscreteHistogram::cv() const {
+  if (total_ == 0) return 0.0;
+  const double m = mean();
+  if (m == 0.0) return 0.0;
+  double sq = 0.0;
+  for (const auto& [value, count] : counts_) {
+    const double d = static_cast<double>(value) - m;
+    sq += d * d * static_cast<double>(count);
+  }
+  const double var = sq / static_cast<double>(total_);
+  return std::sqrt(var) / m;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,61 @@
+// Histograms for the workload-characterisation figures.
+//
+// Histogram        -- fixed-width bins over [lo, hi); out-of-range values are
+//                     counted in underflow/overflow buckets (Fig. 2 densities).
+// DiscreteHistogram-- exact integer-value counts (Fig. 1 job-size density,
+//                     Table 1 power-of-two fractions).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace mcsim {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  /// Midpoint of bin i, for plotting.
+  [[nodiscard]] double bin_mid(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Fraction of in-range samples in bin i.
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+class DiscreteHistogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t count(std::int64_t value) const;
+  [[nodiscard]] double fraction(std::int64_t value) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Number of distinct values observed (the paper reports 58 for the DAS1 log).
+  [[nodiscard]] std::size_t distinct_values() const { return counts_.size(); }
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& counts() const { return counts_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double cv() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mcsim

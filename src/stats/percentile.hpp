@@ -1,0 +1,38 @@
+// Quantile estimation.
+//
+// P2Quantile      -- Jain & Chlamtac's P² streaming estimator, O(1) memory;
+//                    used for long simulation runs.
+// exact_quantile  -- exact (linear-interpolated) quantile of a sample vector;
+//                    used by tests and small analyses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mcsim {
+
+class P2Quantile {
+ public:
+  /// `q` in (0,1), e.g. 0.95 for the 95th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate (exact until 5 samples have arrived).
+  [[nodiscard]] double value() const;
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+/// Exact quantile with linear interpolation; `sorted` must be non-empty and
+/// ascending.
+double exact_quantile(const std::vector<double>& sorted, double q);
+
+}  // namespace mcsim

@@ -1,0 +1,51 @@
+#include "stats/warmup.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+MserResult mser(const std::vector<double>& observations, std::size_t batch_size) {
+  MCSIM_REQUIRE(batch_size > 0, "batch size must be positive");
+  MserResult result;
+  const std::size_t n_batches = observations.size() / batch_size;
+  if (n_batches < 2) return result;
+
+  // Batch the series.
+  std::vector<double> batches(n_batches);
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < batch_size; ++i) sum += observations[b * batch_size + i];
+    batches[b] = sum / static_cast<double>(batch_size);
+  }
+
+  // Suffix sums for O(1) mean/variance at each truncation point.
+  std::vector<double> suffix_sum(n_batches + 1, 0.0);
+  std::vector<double> suffix_sq(n_batches + 1, 0.0);
+  for (std::size_t b = n_batches; b-- > 0;) {
+    suffix_sum[b] = suffix_sum[b + 1] + batches[b];
+    suffix_sq[b] = suffix_sq[b + 1] + batches[b] * batches[b];
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_d = 0;
+  const std::size_t max_d = n_batches / 2;
+  for (std::size_t d = 0; d <= max_d; ++d) {
+    const auto m = static_cast<double>(n_batches - d);
+    if (m < 2) break;
+    const double mean = suffix_sum[d] / m;
+    const double var = suffix_sq[d] / m - mean * mean;
+    const double stat = std::max(var, 0.0) / m;  // squared std. error of the mean
+    if (stat < best) {
+      best = stat;
+      best_d = d;
+    }
+  }
+  result.truncation_point = best_d * batch_size;
+  result.statistic = best;
+  return result;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,26 @@
+// Warmup (initial-transient) detection.
+//
+// The sweep driver deletes a fixed fraction by default; MSER-5 is provided
+// as a data-driven alternative: it picks the truncation point that minimises
+// the standard error of the remaining batch means.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcsim {
+
+struct MserResult {
+  /// Number of *observations* to delete from the front.
+  std::size_t truncation_point = 0;
+  /// MSER statistic at the chosen point.
+  double statistic = 0.0;
+};
+
+/// MSER-k on `observations` (k = batch size, classically 5).
+/// Searches truncation points over the first half of the series only, per the
+/// standard recommendation (a point in the second half means "no steady state
+/// detected" and we return half).
+MserResult mser(const std::vector<double>& observations, std::size_t batch_size = 5);
+
+}  // namespace mcsim

@@ -1,0 +1,26 @@
+// One job record of a cluster workload log, modelled on the fields the
+// paper extracts from the DAS1 PBS log: submit/start/end times, requested
+// processors, and the submitting user.
+#pragma once
+
+#include <cstdint>
+
+namespace mcsim {
+
+struct TraceRecord {
+  std::uint64_t job_id = 0;
+  /// Seconds since the start of the log.
+  double submit_time = 0.0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  std::uint32_t processors = 0;
+  std::uint32_t user_id = 0;
+  /// True if the job was killed by the 15-minute working-hours limit.
+  bool killed_by_limit = false;
+
+  [[nodiscard]] double service_time() const { return end_time - start_time; }
+  [[nodiscard]] double wait_time() const { return start_time - submit_time; }
+  [[nodiscard]] double response_time() const { return end_time - submit_time; }
+};
+
+}  // namespace mcsim

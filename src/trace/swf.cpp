@@ -1,0 +1,82 @@
+#include "trace/swf.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace mcsim {
+
+SwfTrace read_swf(std::istream& in) {
+  SwfTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == ';') {
+      trace.header_comments.emplace_back(trim(trimmed.substr(1)));
+      continue;
+    }
+    std::istringstream fields{std::string(trimmed)};
+    double field[18];
+    for (int i = 0; i < 18; ++i) {
+      if (!(fields >> field[i])) {
+        MCSIM_REQUIRE(false, "SWF line " + std::to_string(line_no) + ": expected 18 fields");
+      }
+    }
+    TraceRecord rec;
+    rec.job_id = static_cast<std::uint64_t>(field[0]);
+    rec.submit_time = field[1];
+    const double wait = field[2] >= 0 ? field[2] : 0.0;
+    rec.start_time = rec.submit_time + wait;
+    const double run = field[3] >= 0 ? field[3] : 0.0;
+    rec.end_time = rec.start_time + run;
+    const double alloc = field[4] >= 0 ? field[4] : field[7];
+    MCSIM_REQUIRE(alloc >= 0, "SWF line " + std::to_string(line_no) + ": no processor count");
+    rec.processors = static_cast<std::uint32_t>(alloc);
+    rec.killed_by_limit = static_cast<int>(field[10]) == 5;
+    rec.user_id = field[11] >= 0 ? static_cast<std::uint32_t>(field[11]) : 0;
+    trace.records.push_back(rec);
+  }
+  return trace;
+}
+
+SwfTrace read_swf_file(const std::string& path) {
+  std::ifstream in(path);
+  MCSIM_REQUIRE(in.good(), "cannot open trace file: " + path);
+  return read_swf(in);
+}
+
+void write_swf(std::ostream& out, const SwfTrace& trace) {
+  for (const auto& comment : trace.header_comments) out << "; " << comment << '\n';
+  for (const auto& rec : trace.records) {
+    const double wait = rec.wait_time();
+    const double run = rec.service_time();
+    // 18 SWF fields; unmodelled ones are -1.
+    out << rec.job_id << ' '                       // 1 job id
+        << format_double(rec.submit_time, 2) << ' '  // 2 submit
+        << format_double(wait, 2) << ' '             // 3 wait
+        << format_double(run, 2) << ' '              // 4 run time
+        << rec.processors << ' '                     // 5 allocated procs
+        << -1 << ' '                                 // 6 avg cpu time
+        << -1 << ' '                                 // 7 used memory
+        << rec.processors << ' '                     // 8 requested procs
+        << -1 << ' '                                 // 9 requested time
+        << -1 << ' '                                 // 10 requested memory
+        << (rec.killed_by_limit ? 5 : 1) << ' '      // 11 status
+        << rec.user_id << ' '                        // 12 user id
+        << -1 << ' ' << -1 << ' ' << -1 << ' '       // 13 group, 14 app, 15 queue
+        << -1 << ' ' << -1 << ' ' << -1 << '\n';     // 16 partition, 17 prev job, 18 think time
+  }
+}
+
+void write_swf_file(const std::string& path, const SwfTrace& trace) {
+  std::ofstream out(path);
+  MCSIM_REQUIRE(out.good(), "cannot open trace file for writing: " + path);
+  write_swf(out, trace);
+}
+
+}  // namespace mcsim

@@ -1,0 +1,39 @@
+// Reader/writer for a Standard-Workload-Format-style (SWF) trace file.
+//
+// We use the community SWF column layout (Feitelson's Parallel Workloads
+// Archive): 18 whitespace-separated fields per job line, ';' comments in a
+// header. Only the fields the model needs are populated; the others are -1
+// as SWF prescribes. This makes our synthetic DAS1 log loadable by standard
+// tooling and lets users feed real SWF traces into the simulator.
+//
+// Field map used (1-based SWF numbering):
+//   1 job id | 2 submit | 4 run time | 5 allocated procs
+//   8 requested procs | 12 user id | 11 status (1 completed, 5 killed)
+// SWF carries wait time in field 3; start = submit + wait.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace mcsim {
+
+struct SwfTrace {
+  std::vector<std::string> header_comments;  // without the leading ';'
+  std::vector<TraceRecord> records;
+};
+
+/// Parse an SWF stream. Throws std::invalid_argument on malformed lines.
+SwfTrace read_swf(std::istream& in);
+
+/// Load from a file path.
+SwfTrace read_swf_file(const std::string& path);
+
+/// Write records in SWF format with the given header comments.
+void write_swf(std::ostream& out, const SwfTrace& trace);
+
+void write_swf_file(const std::string& path, const SwfTrace& trace);
+
+}  // namespace mcsim

@@ -1,0 +1,97 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "stats/welford.hpp"
+
+namespace mcsim {
+
+namespace {
+bool is_power_of_two(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+TraceSummary summarize_trace(const std::vector<TraceRecord>& records) {
+  TraceSummary s;
+  s.job_count = records.size();
+  if (records.empty()) return s;
+
+  std::unordered_set<std::uint32_t> users;
+  std::unordered_set<std::uint32_t> sizes;
+  RunningStats size_stats;
+  RunningStats service_stats;
+  double first_submit = records.front().submit_time;
+  double last_end = records.front().end_time;
+  std::uint64_t pow2 = 0;
+  std::uint64_t under_15min = 0;
+  std::uint32_t min_size = records.front().processors;
+  std::uint32_t max_size = records.front().processors;
+
+  for (const auto& rec : records) {
+    users.insert(rec.user_id);
+    sizes.insert(rec.processors);
+    size_stats.add(static_cast<double>(rec.processors));
+    service_stats.add(rec.service_time());
+    first_submit = std::min(first_submit, rec.submit_time);
+    last_end = std::max(last_end, rec.end_time);
+    if (is_power_of_two(rec.processors)) ++pow2;
+    if (rec.service_time() < 900.0) ++under_15min;
+    min_size = std::min(min_size, rec.processors);
+    max_size = std::max(max_size, rec.processors);
+  }
+
+  s.user_count = static_cast<std::uint32_t>(users.size());
+  s.duration = last_end - first_submit;
+  s.distinct_sizes = sizes.size();
+  s.mean_size = size_stats.mean();
+  s.size_cv = size_stats.cv();
+  s.min_size = min_size;
+  s.max_size = max_size;
+  s.power_of_two_fraction =
+      static_cast<double>(pow2) / static_cast<double>(records.size());
+  s.mean_service = service_stats.mean();
+  s.service_cv = service_stats.cv();
+  s.fraction_under_15min =
+      static_cast<double>(under_15min) / static_cast<double>(records.size());
+  return s;
+}
+
+DiscreteHistogram job_size_density(const std::vector<TraceRecord>& records) {
+  DiscreteHistogram hist;
+  for (const auto& rec : records) hist.add(static_cast<std::int64_t>(rec.processors));
+  return hist;
+}
+
+Histogram service_time_density(const std::vector<TraceRecord>& records, double hi,
+                               std::size_t bins) {
+  Histogram hist(0.0, hi, bins);
+  for (const auto& rec : records) hist.add(rec.service_time());
+  return hist;
+}
+
+double fraction_with_size(const std::vector<TraceRecord>& records, std::uint32_t size) {
+  if (records.empty()) return 0.0;
+  const auto n = std::count_if(records.begin(), records.end(),
+                               [size](const TraceRecord& r) { return r.processors == size; });
+  return static_cast<double>(n) / static_cast<double>(records.size());
+}
+
+std::vector<TraceRecord> cut_by_size(const std::vector<TraceRecord>& records,
+                                     std::uint32_t max_size) {
+  std::vector<TraceRecord> out;
+  out.reserve(records.size());
+  std::copy_if(records.begin(), records.end(), std::back_inserter(out),
+               [max_size](const TraceRecord& r) { return r.processors <= max_size; });
+  return out;
+}
+
+std::vector<TraceRecord> cut_by_service(const std::vector<TraceRecord>& records,
+                                        double max_service) {
+  std::vector<TraceRecord> out;
+  out.reserve(records.size());
+  std::copy_if(records.begin(), records.end(), std::back_inserter(out),
+               [max_service](const TraceRecord& r) { return r.service_time() <= max_service; });
+  return out;
+}
+
+}  // namespace mcsim

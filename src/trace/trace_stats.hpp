@@ -1,0 +1,54 @@
+// Statistics over a trace: everything the paper reports about the DAS1 log
+// (Sect. 2.4) — job-size density and its power-of-two mass (Fig. 1,
+// Table 1), service-time density (Fig. 2), distinct value counts, means and
+// CVs, and the fraction of jobs under the 15-minute limit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "trace/record.hpp"
+
+namespace mcsim {
+
+struct TraceSummary {
+  std::uint64_t job_count = 0;
+  std::uint32_t user_count = 0;
+  double duration = 0.0;  // last end - first submit
+
+  // Job sizes.
+  std::size_t distinct_sizes = 0;
+  double mean_size = 0.0;
+  double size_cv = 0.0;
+  std::uint32_t min_size = 0;
+  std::uint32_t max_size = 0;
+  double power_of_two_fraction = 0.0;
+
+  // Service times.
+  double mean_service = 0.0;
+  double service_cv = 0.0;
+  double fraction_under_15min = 0.0;
+};
+
+TraceSummary summarize_trace(const std::vector<TraceRecord>& records);
+
+/// Exact per-size job counts (the Fig. 1 density).
+DiscreteHistogram job_size_density(const std::vector<TraceRecord>& records);
+
+/// Service-time histogram over [0, hi) with `bins` bins (the Fig. 2 density).
+Histogram service_time_density(const std::vector<TraceRecord>& records, double hi = 900.0,
+                               std::size_t bins = 90);
+
+/// Fraction of jobs whose size is exactly `size`.
+double fraction_with_size(const std::vector<TraceRecord>& records, std::uint32_t size);
+
+/// Keep only records with processors <= max_size (the DAS-s-64 cut).
+std::vector<TraceRecord> cut_by_size(const std::vector<TraceRecord>& records,
+                                     std::uint32_t max_size);
+
+/// Keep only records with service time <= max_service (the DAS-t-900 cut).
+std::vector<TraceRecord> cut_by_service(const std::vector<TraceRecord>& records,
+                                        double max_service);
+
+}  // namespace mcsim

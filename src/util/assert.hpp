@@ -1,0 +1,19 @@
+// Assertion and precondition macros for mcsim.
+//
+// MCSIM_ASSERT(cond)        -- internal invariant; aborts in debug, no-op in NDEBUG.
+// MCSIM_REQUIRE(cond, msg)  -- public API precondition; always checked, throws
+//                              std::invalid_argument so callers can recover.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#define MCSIM_ASSERT(cond) assert(cond)
+
+#define MCSIM_REQUIRE(cond, msg)                                   \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      throw std::invalid_argument(std::string("mcsim: ") + (msg)); \
+    }                                                              \
+  } while (0)

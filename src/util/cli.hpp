@@ -1,0 +1,53 @@
+// Tiny command-line argument parser used by examples and bench harnesses.
+//
+// Supports:  --key=value   --key value   --flag   positional args.
+// Unknown options raise; every option must be declared before parse().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcsim {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Declare an option with a default value (shown in --help).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Declare a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false if --help was requested (help printed to stdout).
+  /// Throws std::invalid_argument on unknown or malformed options.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Render the --help text.
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string description_;
+  std::string program_name_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,60 @@
+#include "util/csv.hpp"
+
+#include "util/strings.hpp"
+
+namespace mcsim {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) { row(columns); }
+
+CsvWriter& CsvWriter::add(const std::string& field) {
+  write_field(field);
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(double value, int precision) {
+  write_field(format_double(value, precision));
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::int64_t value) {
+  write_field(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::uint64_t value) {
+  write_field(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_open_ = false;
+  first_in_row_ = true;
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& field : fields) write_field(field);
+  end_row();
+}
+
+void CsvWriter::write_field(const std::string& field) {
+  if (!first_in_row_) out_ << ',';
+  out_ << csv_escape(field);
+  row_open_ = true;
+  first_in_row_ = false;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,44 @@
+// CSV writing with RFC-4180 quoting. Bench harnesses emit CSV next to the
+// human-readable tables so figures can be re-plotted directly.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcsim {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write the header row (once, before any data rows).
+  void header(const std::vector<std::string>& columns);
+
+  /// Start a new row; then call add() per field and end_row().
+  CsvWriter& add(const std::string& field);
+  CsvWriter& add(double value, int precision = 6);
+  CsvWriter& add(std::int64_t value);
+  CsvWriter& add(std::uint64_t value);
+  void end_row();
+
+  /// Convenience: write a full row of already-formatted fields.
+  void row(const std::vector<std::string>& fields);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_field(const std::string& field);
+
+  std::ostream& out_;
+  bool row_open_ = false;
+  bool first_in_row_ = true;
+  std::size_t rows_ = 0;
+};
+
+/// Quote a field per RFC 4180 if it contains comma, quote, or newline.
+std::string csv_escape(const std::string& field);
+
+}  // namespace mcsim

@@ -1,0 +1,32 @@
+// Small string helpers shared across the library (GCC 12 has no <format>,
+// so numeric formatting goes through snprintf wrappers here).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsim {
+
+/// Format a double with `precision` digits after the decimal point.
+std::string format_double(double value, int precision = 3);
+
+/// Format a double like the paper prints utilizations, e.g. "0.553".
+std::string format_util(double value);
+
+/// printf-style formatting into a std::string.
+std::string str_printf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Lower-case an ASCII string.
+std::string to_lower(std::string_view text);
+
+}  // namespace mcsim

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+namespace {
+bool looks_numeric(const std::string& field) {
+  if (field.empty()) return false;
+  size_t digits = 0;
+  for (char c : field) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+    else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' && c != '%') return false;
+  }
+  return digits > 0;
+}
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  MCSIM_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> fields) {
+  MCSIM_REQUIRE(fields.size() == columns_.size(), "row width does not match header");
+  rows_.push_back(std::move(fields));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      const auto pad = widths[c] - row[c].size();
+      const bool right = align_numeric && looks_numeric(row[c]);
+      if (right) out << std::string(pad, ' ') << row[c];
+      else out << row[c] << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(columns_, /*align_numeric=*/false);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row, /*align_numeric=*/true);
+  return out.str();
+}
+
+}  // namespace mcsim

@@ -1,0 +1,26 @@
+// ASCII table rendering for the bench harnesses: prints aligned columns in
+// the style of the paper's tables so outputs are directly comparable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcsim {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> fields);
+
+  /// Render with a header rule, right-aligning numeric-looking fields.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,59 @@
+// Job arrival processes. The paper uses exponential interarrival times
+// (Poisson arrivals); the open-ended ArrivalProcess interface lets the
+// examples plug in other processes (e.g. the day/night-modulated process the
+// synthetic log generator uses).
+#pragma once
+
+#include <memory>
+
+#include "util/rng.hpp"
+#include "workload/distribution.hpp"
+
+namespace mcsim {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Time until the next arrival, given the current time.
+  [[nodiscard]] virtual double next_interarrival(double now, Rng& rng) const = 0;
+  /// Long-run arrival rate (jobs per second).
+  [[nodiscard]] virtual double rate() const = 0;
+};
+
+/// Homogeneous Poisson process.
+class PoissonProcess final : public ArrivalProcess {
+ public:
+  explicit PoissonProcess(double rate);
+  double next_interarrival(double now, Rng& rng) const override;
+  double rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Nonhomogeneous Poisson with a periodic (daily) intensity profile,
+/// sampled by thinning. Used by the synthetic DAS1 log generator to model
+/// the working-hours submission pattern.
+class PeriodicPoissonProcess final : public ArrivalProcess {
+ public:
+  /// `base_rate` is the peak intensity; `profile(t_in_period)` in [0,1]
+  /// modulates it; `period` in seconds.
+  PeriodicPoissonProcess(double base_rate, double period, double (*profile)(double));
+  double next_interarrival(double now, Rng& rng) const override;
+  double rate() const override;
+
+ private:
+  double base_rate_;
+  double period_;
+  double (*profile_)(double);
+  double mean_intensity_;
+};
+
+/// The arrival rate that produces gross utilization `rho` on a system of
+/// `total_processors`, given the expected gross work per job
+/// E[extended_size] * E[service] (sizes and service times are independent
+/// in the model).
+double arrival_rate_for_gross_utilization(double rho, std::uint32_t total_processors,
+                                          double mean_extended_size, double mean_service);
+
+}  // namespace mcsim

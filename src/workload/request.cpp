@@ -1,0 +1,28 @@
+#include "workload/request.hpp"
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace mcsim {
+
+const char* request_type_name(RequestType type) {
+  switch (type) {
+    case RequestType::kOrdered: return "ordered";
+    case RequestType::kUnordered: return "unordered";
+    case RequestType::kFlexible: return "flexible";
+    case RequestType::kTotal: return "total";
+  }
+  return "?";
+}
+
+RequestType parse_request_type(const std::string& name) {
+  const std::string lower = to_lower(name);
+  if (lower == "ordered") return RequestType::kOrdered;
+  if (lower == "unordered") return RequestType::kUnordered;
+  if (lower == "flexible") return RequestType::kFlexible;
+  if (lower == "total") return RequestType::kTotal;
+  MCSIM_REQUIRE(false, "unknown request type: " + name);
+  return RequestType::kUnordered;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,20 @@
+// Request structures of the authors' co-allocation model (refs [6,7] of
+// the paper; Sect. 2.3 uses unordered and total):
+//
+//   ordered    component i must run on the named cluster i
+//   unordered  components sized, clusters chosen by the scheduler (paper)
+//   flexible   only the total matters; the scheduler splits freely
+//   total      single-cluster total request (the SC baseline)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcsim {
+
+enum class RequestType : std::uint8_t { kOrdered, kUnordered, kFlexible, kTotal };
+
+const char* request_type_name(RequestType type);
+RequestType parse_request_type(const std::string& name);
+
+}  // namespace mcsim

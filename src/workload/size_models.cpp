@@ -1,0 +1,55 @@
+#include "workload/size_models.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+namespace {
+bool is_power_of_two(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+DiscreteDistribution build(std::uint32_t lo, std::uint32_t hi,
+                           double (*weight)(std::uint32_t, double, double), double a,
+                           double b) {
+  MCSIM_REQUIRE(lo >= 1, "sizes start at 1");
+  MCSIM_REQUIRE(hi >= lo, "size range must be non-empty");
+  std::vector<double> values;
+  std::vector<double> weights;
+  values.reserve(hi - lo + 1);
+  weights.reserve(hi - lo + 1);
+  for (std::uint32_t v = lo; v <= hi; ++v) {
+    values.push_back(static_cast<double>(v));
+    weights.push_back(weight(v, a, b));
+  }
+  return DiscreteDistribution(std::move(values), std::move(weights));
+}
+}  // namespace
+
+DiscreteDistribution dq_size_distribution(double q, std::uint32_t lo, std::uint32_t hi,
+                                          double pow2_boost) {
+  MCSIM_REQUIRE(q > 0.0 && q < 1.0, "D(q) needs q in (0,1)");
+  MCSIM_REQUIRE(pow2_boost > 0.0, "power-of-two boost must be positive");
+  return build(lo, hi,
+               +[](std::uint32_t v, double qq, double boost) {
+                 const double base = std::pow(qq, static_cast<double>(v));
+                 return is_power_of_two(v) ? boost * base : base;
+               },
+               q, pow2_boost);
+}
+
+DiscreteDistribution uniform_size_distribution(std::uint32_t lo, std::uint32_t hi) {
+  return build(lo, hi, +[](std::uint32_t, double, double) { return 1.0; }, 0, 0);
+}
+
+DiscreteDistribution zipf_size_distribution(double alpha, std::uint32_t lo,
+                                            std::uint32_t hi) {
+  MCSIM_REQUIRE(alpha > 0.0, "Zipf alpha must be positive");
+  return build(lo, hi,
+               +[](std::uint32_t v, double a, double) {
+                 return 1.0 / std::pow(static_cast<double>(v), a);
+               },
+               alpha, 0);
+}
+
+}  // namespace mcsim

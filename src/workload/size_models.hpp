@@ -1,0 +1,29 @@
+// Synthetic job-size distribution families.
+//
+// The paper's predecessors ([6,7,8]) evaluate co-allocation on the
+// synthetic family D(q): job sizes i in [lo, hi] with probability
+// proportional to q^i (small sizes favoured for q < 1), with powers of two
+// three times as likely — the stylised shape later confirmed by the DAS1
+// log (Fig. 1). Provided here so users can rerun the study on the authors'
+// earlier workloads or on parametric what-if mixes.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/discrete.hpp"
+
+namespace mcsim {
+
+/// The D(q) distribution of Bucur & Epema's earlier studies.
+/// `pow2_boost` multiplies the weight of power-of-two sizes (3.0 there).
+DiscreteDistribution dq_size_distribution(double q, std::uint32_t lo, std::uint32_t hi,
+                                          double pow2_boost = 3.0);
+
+/// Uniform job sizes on [lo, hi] (a common worst-case reference).
+DiscreteDistribution uniform_size_distribution(std::uint32_t lo, std::uint32_t hi);
+
+/// Zipf-like sizes: P(i) proportional to 1/i^alpha on [lo, hi].
+DiscreteDistribution zipf_size_distribution(double alpha, std::uint32_t lo,
+                                            std::uint32_t hi);
+
+}  // namespace mcsim

@@ -1,0 +1,72 @@
+#include "workload/user_model.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+UserWorkloadModel::UserWorkloadModel(UserModelConfig config, std::uint64_t seed)
+    : config_(config), rng_(make_stream(seed, "user-sessions")) {
+  MCSIM_REQUIRE(config_.num_users > 0, "need at least one user");
+  MCSIM_REQUIRE(config_.mean_session_jobs >= 1.0, "sessions have at least one job");
+  MCSIM_REQUIRE(config_.mean_think_time > 0.0 && config_.mean_break_time > 0.0,
+                "think and break times must be positive");
+  MCSIM_REQUIRE(config_.activity_skew >= 0.0, "activity skew must be non-negative");
+
+  users_.resize(config_.num_users);
+  for (std::uint32_t u = 0; u < config_.num_users; ++u) {
+    // Zipf-skewed activity: user u runs at speed 1/(u+1)^skew relative to
+    // the most active user (longer breaks, same sessions).
+    users_[u].speed = 1.0 / std::pow(static_cast<double>(u + 1), config_.activity_skew);
+    // Stagger initial sessions across one mean break.
+    users_[u].next_time =
+        rng_.exponential_mean(config_.mean_break_time / users_[u].speed);
+    users_[u].jobs_left_in_session = draw_session_length(u);
+    heap_.push(HeapEntry{users_[u].next_time, u});
+  }
+}
+
+std::uint32_t UserWorkloadModel::draw_session_length(std::uint32_t /*user*/) {
+  // Geometric on {1, 2, ...} with the configured mean.
+  const double p = 1.0 / config_.mean_session_jobs;
+  std::uint32_t length = 1;
+  while (rng_.uniform() > p && length < 10000) ++length;
+  return length;
+}
+
+void UserWorkloadModel::schedule_user(std::uint32_t user) {
+  UserState& state = users_[user];
+  MCSIM_ASSERT(state.jobs_left_in_session > 0);
+  --state.jobs_left_in_session;
+  if (state.jobs_left_in_session > 0) {
+    state.next_time += rng_.exponential_mean(config_.mean_think_time);
+  } else {
+    state.next_time += rng_.exponential_mean(config_.mean_break_time / state.speed);
+    state.jobs_left_in_session = draw_session_length(user);
+  }
+  heap_.push(HeapEntry{state.next_time, user});
+}
+
+UserWorkloadModel::Submission UserWorkloadModel::next() {
+  MCSIM_ASSERT(!heap_.empty());
+  const HeapEntry entry = heap_.top();
+  heap_.pop();
+  schedule_user(entry.user);
+  return Submission{entry.time, entry.user};
+}
+
+double UserWorkloadModel::mean_rate() const {
+  // Each user cycles: session of J jobs taking (J-1) think times, then a
+  // break scaled by 1/speed. Rate per user = J / ((J-1)*think + break/speed).
+  const double jobs = config_.mean_session_jobs;
+  double rate = 0.0;
+  for (const auto& user : users_) {
+    const double cycle =
+        (jobs - 1.0) * config_.mean_think_time + config_.mean_break_time / user.speed;
+    rate += jobs / cycle;
+  }
+  return rate;
+}
+
+}  // namespace mcsim

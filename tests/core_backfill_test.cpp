@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/policy_gs.hpp"
+#include "core/scheduler_factory.hpp"
+#include "exp/scenario.hpp"
+#include "test_support.hpp"
+
+namespace mcsim {
+namespace {
+
+using testing::FakeContext;
+using testing::make_job;
+
+TEST(BackfillModeName, Names) {
+  EXPECT_STREQ(backfill_mode_name(BackfillMode::kNone), "fcfs");
+  EXPECT_STREQ(backfill_mode_name(BackfillMode::kAggressive), "aggressive-bf");
+  EXPECT_STREQ(backfill_mode_name(BackfillMode::kEasy), "easy-bf");
+}
+
+TEST(AggressiveBackfill, StartsSmallJobsPastBlockedHead) {
+  FakeContext ctx({128});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kAggressive);
+  policy.submit(make_job(1, {100}));
+  policy.submit(make_job(2, {100}));  // blocked head (only 28 idle)
+  policy.submit(make_job(3, {20}));   // backfills
+  policy.submit(make_job(4, {20}));   // does not fit (8 idle)
+  policy.submit(make_job(5, {8}));    // backfills
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 5u);
+  EXPECT_EQ(policy.queued_jobs(), 2u);
+}
+
+TEST(AggressiveBackfill, PreservesFifoAmongFittingJobs) {
+  FakeContext ctx({128});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kAggressive);
+  policy.submit(make_job(1, {120}));
+  policy.submit(make_job(2, {60}));  // blocked
+  policy.submit(make_job(3, {4}));
+  policy.submit(make_job(4, {4}));
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 4u);
+}
+
+TEST(EasyBackfill, BackfillsOnlyWhenReservationHolds) {
+  FakeContext ctx({128});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kEasy);
+  // Job 1 runs for 100 s on 100 CPUs; head job 2 needs 100 CPUs and gets a
+  // reservation at t = 100 with 28 CPUs spare then.
+  policy.submit(make_job(1, {100}, 0, /*service=*/100.0));
+  policy.submit(make_job(2, {100}, 0, 100.0));
+  // Job 3: 20 CPUs for 50 s — ends before the reservation: backfills.
+  policy.submit(make_job(3, {20}, 0, 50.0));
+  // Job 4: 20 CPUs for 500 s — would overlap t=100 AND 20+20 > 28 spare:
+  // must NOT backfill (it would delay the head).
+  policy.submit(make_job(4, {20}, 0, 500.0));
+  // Job 5: 8 CPUs for 500 s — overlaps but fits the remaining spare
+  // (28 - 20 already taken? job 4 was rejected, spare still 28): backfills.
+  policy.submit(make_job(5, {8}, 0, 500.0));
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 5u);
+}
+
+TEST(EasyBackfill, LongJobWithinSpareBackfills) {
+  FakeContext ctx({128});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kEasy);
+  policy.submit(make_job(1, {100}, 0, 100.0));
+  policy.submit(make_job(2, {100}, 0, 100.0));  // reservation at 100, spare 28
+  policy.submit(make_job(3, {28}, 0, 10000.0)); // long but within spare
+  ASSERT_EQ(ctx.started.size(), 2u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 3u);
+}
+
+TEST(EasyBackfill, SpareShrinksAsLongJobsBackfill) {
+  FakeContext ctx({128});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kEasy);
+  policy.submit(make_job(1, {100}, 0, 100.0));
+  policy.submit(make_job(2, {100}, 0, 100.0));   // spare 28 at t=100
+  policy.submit(make_job(3, {20}, 0, 10000.0));  // takes 20 of the spare
+  policy.submit(make_job(4, {20}, 0, 10000.0));  // 20 > remaining 8: blocked
+  policy.submit(make_job(5, {8}, 0, 10000.0));   // fits remaining spare
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 5u);
+}
+
+TEST(EasyBackfill, HeadStartsExactlyAtReservation) {
+  FakeContext ctx({128});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kEasy);
+  policy.submit(make_job(1, {100}, 0, 100.0));
+  policy.submit(make_job(2, {100}, 0, 100.0));
+  policy.submit(make_job(3, {20}, 0, 50.0));  // backfilled
+  // Finish the backfilled job first, then job 1: the head must start.
+  ctx.finish(ctx.started[1], policy);  // job 3 at t=50
+  EXPECT_EQ(ctx.started.size(), 2u);
+  ctx.finish(ctx.started[0], policy);  // job 1 at t=100
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 2u);
+}
+
+TEST(Backfill, FactoryNamesAndGuards) {
+  FakeContext single({128});
+  EXPECT_EQ(make_scheduler(PolicyKind::kSC, single, PlacementRule::kWorstFit,
+                           BackfillMode::kEasy)
+                ->name(),
+            "SC+easy-bf");
+  FakeContext multi({32, 32, 32, 32});
+  EXPECT_EQ(make_scheduler(PolicyKind::kGS, multi, PlacementRule::kWorstFit,
+                           BackfillMode::kAggressive)
+                ->name(),
+            "GS+aggressive-bf");
+  EXPECT_THROW(make_scheduler(PolicyKind::kLS, multi, PlacementRule::kWorstFit,
+                              BackfillMode::kEasy),
+               std::invalid_argument);
+}
+
+TEST(Backfill, MulticlusterAggressiveRespectsPlacement) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit, "GS", BackfillMode::kAggressive);
+  policy.submit(make_job(1, {32, 32, 32}));  // clusters 0,1,2
+  policy.submit(make_job(2, {32, 32}));      // blocked: needs two clusters
+  policy.submit(make_job(3, {16, 16}));      // needs two clusters too: blocked
+  policy.submit(make_job(4, {16}));          // fits cluster 3: backfills
+  ASSERT_EQ(ctx.started.size(), 2u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 4u);
+}
+
+TEST(Backfill, EndToEndScEasyBeatsScFcfsUnderLoad) {
+  // The Sect. 3.2 connection: SC's weakness is head-of-line blocking by
+  // very large jobs; EASY backfilling removes most of it.
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kSC;
+  auto fcfs = make_paper_config(scenario, 0.68, 15000, 9);
+  auto easy = fcfs;
+  easy.backfill = BackfillMode::kEasy;
+  const auto fcfs_result = run_simulation(fcfs);
+  const auto easy_result = run_simulation(easy);
+  ASSERT_FALSE(easy_result.unstable);
+  const double fcfs_response = fcfs_result.unstable
+                                   ? std::numeric_limits<double>::infinity()
+                                   : fcfs_result.mean_response();
+  EXPECT_LT(easy_result.mean_response(), fcfs_response);
+}
+
+TEST(Backfill, EndToEndDeterministic) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kGS;
+  auto config = make_paper_config(scenario, 0.5, 5000, 3);
+  config.backfill = BackfillMode::kEasy;
+  const auto a = run_simulation(config);
+  const auto b = run_simulation(config);
+  EXPECT_DOUBLE_EQ(a.mean_response(), b.mean_response());
+}
+
+}  // namespace
+}  // namespace mcsim

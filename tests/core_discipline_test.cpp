@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/policy_gs.hpp"
+#include "core/scheduler_factory.hpp"
+#include "exp/scenario.hpp"
+#include "test_support.hpp"
+
+namespace mcsim {
+namespace {
+
+using testing::FakeContext;
+using testing::make_job;
+
+TEST(QueueDiscipline, Names) {
+  EXPECT_STREQ(queue_discipline_name(QueueDiscipline::kFcfs), "fcfs");
+  EXPECT_STREQ(queue_discipline_name(QueueDiscipline::kShortestJobFirst), "sjf");
+  EXPECT_STREQ(queue_discipline_name(QueueDiscipline::kLongestJobFirst), "ljf");
+  EXPECT_STREQ(queue_discipline_name(QueueDiscipline::kSmallestFirst), "smallest-first");
+  EXPECT_STREQ(queue_discipline_name(QueueDiscipline::kLargestFirst), "largest-first");
+}
+
+TEST(QueueDiscipline, FcfsOrderIsNull) {
+  EXPECT_EQ(make_job_order(QueueDiscipline::kFcfs), nullptr);
+}
+
+TEST(JobQueueOrder, SortedInsertIsStable) {
+  JobQueue queue;
+  queue.set_order(make_job_order(QueueDiscipline::kSmallestFirst));
+  queue.push(make_job(1, {8}));
+  queue.push(make_job(2, {4}));
+  queue.push(make_job(3, {4}));  // equal size: after job 2 (stable)
+  queue.push(make_job(4, {16}));
+  EXPECT_EQ(queue.pop()->spec.id, 2u);
+  EXPECT_EQ(queue.pop()->spec.id, 3u);
+  EXPECT_EQ(queue.pop()->spec.id, 1u);
+  EXPECT_EQ(queue.pop()->spec.id, 4u);
+}
+
+TEST(JobQueueOrder, SetOrderOnNonEmptyQueueThrows) {
+  JobQueue queue;
+  queue.push(make_job(1, {4}));
+  EXPECT_THROW(queue.set_order(make_job_order(QueueDiscipline::kSmallestFirst)),
+               std::invalid_argument);
+}
+
+TEST(SmallestFirst, ServesSmallJobsBeforeBigOnes) {
+  FakeContext ctx({128});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kNone,
+                  QueueDiscipline::kSmallestFirst);
+  policy.submit(make_job(1, {128}));  // occupies everything
+  policy.submit(make_job(2, {64}));
+  policy.submit(make_job(3, {4}));
+  policy.submit(make_job(4, {16}));
+  ctx.finish(ctx.started[0], policy);
+  ASSERT_EQ(ctx.started.size(), 4u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 4u);
+  EXPECT_EQ(ctx.started[3]->spec.id, 2u);
+}
+
+TEST(Sjf, ServesShortJobsFirst) {
+  FakeContext ctx({128});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kNone,
+                  QueueDiscipline::kShortestJobFirst);
+  policy.submit(make_job(1, {128}, 0, 100.0));
+  policy.submit(make_job(2, {8}, 0, 500.0));
+  policy.submit(make_job(3, {8}, 0, 50.0));
+  ctx.finish(ctx.started[0], policy);
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 2u);
+}
+
+TEST(Discipline, FactoryNamesAndGuards) {
+  FakeContext single({128});
+  EXPECT_EQ(make_scheduler(PolicyKind::kSC, single, PlacementRule::kWorstFit,
+                           BackfillMode::kNone, QueueDiscipline::kShortestJobFirst)
+                ->name(),
+            "SC+sjf");
+  FakeContext multi({32, 32, 32, 32});
+  EXPECT_THROW(make_scheduler(PolicyKind::kLS, multi, PlacementRule::kWorstFit,
+                              BackfillMode::kNone, QueueDiscipline::kShortestJobFirst),
+               std::invalid_argument);
+}
+
+TEST(Discipline, SjfImprovesMeanResponseUnderLoad) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kSC;
+  auto fcfs = make_paper_config(scenario, 0.6, 20000, 5);
+  auto sjf = fcfs;
+  sjf.discipline = QueueDiscipline::kShortestJobFirst;
+  const auto fcfs_result = run_simulation(fcfs);
+  const auto sjf_result = run_simulation(sjf);
+  ASSERT_FALSE(sjf_result.unstable);
+  if (!fcfs_result.unstable) {
+    EXPECT_LT(sjf_result.mean_response(), fcfs_result.mean_response());
+  }
+}
+
+TEST(Discipline, LargestFirstHurtsMeanResponse) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kSC;
+  auto fcfs = make_paper_config(scenario, 0.5, 15000, 5);
+  auto ljf = fcfs;
+  ljf.discipline = QueueDiscipline::kLargestFirst;
+  const auto fcfs_result = run_simulation(fcfs);
+  const auto ljf_result = run_simulation(ljf);
+  ASSERT_FALSE(fcfs_result.unstable);
+  const double ljf_response = ljf_result.unstable
+                                  ? std::numeric_limits<double>::infinity()
+                                  : ljf_result.mean_response();
+  EXPECT_GT(ljf_response, fcfs_result.mean_response());
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,100 @@
+#include "core/policy_gs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace mcsim {
+namespace {
+
+using testing::FakeContext;
+using testing::make_job;
+
+TEST(PolicyGs, StartsJobImmediatelyWhenItFits) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {16, 16}));
+  ASSERT_EQ(ctx.started.size(), 1u);
+  EXPECT_EQ(policy.queued_jobs(), 0u);
+}
+
+TEST(PolicyGs, HeadOfLineBlocking) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  // Fill the system.
+  policy.submit(make_job(1, {32, 32, 32, 32}));
+  ASSERT_EQ(ctx.started.size(), 1u);
+  // A huge job blocks; a tiny job behind it must NOT start (no backfilling).
+  policy.submit(make_job(2, {32, 32}));
+  policy.submit(make_job(3, {1}));
+  EXPECT_EQ(ctx.started.size(), 1u);
+  EXPECT_EQ(policy.queued_jobs(), 2u);
+}
+
+TEST(PolicyGs, DepartureUnblocksQueueInFifoOrder) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {32, 32, 32, 32}));
+  policy.submit(make_job(2, {16, 16}));
+  policy.submit(make_job(3, {8}));
+  ctx.finish(ctx.started[0], policy);
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 2u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 3u);
+}
+
+TEST(PolicyGs, StartsMultipleFittingJobsOnOneEvent) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  for (std::uint64_t id = 1; id <= 4; ++id) policy.submit(make_job(id, {16}));
+  EXPECT_EQ(ctx.started.size(), 4u);
+}
+
+TEST(PolicyGs, SingleComponentJobsPlacedByWorstFit) {
+  FakeContext ctx({32, 32});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {10}));  // WF -> cluster 0 (tie, lower id)
+  policy.submit(make_job(2, {10}));  // now cluster 1 has more idle
+  ASSERT_EQ(ctx.started.size(), 2u);
+  EXPECT_EQ(ctx.started[0]->allocation[0].cluster, 0u);
+  EXPECT_EQ(ctx.started[1]->allocation[0].cluster, 1u);
+}
+
+TEST(PolicyGs, WorksAsSingleClusterSc) {
+  FakeContext ctx({128});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC");
+  EXPECT_EQ(policy.name(), "SC");
+  policy.submit(make_job(1, {128}));
+  policy.submit(make_job(2, {1}));
+  EXPECT_EQ(ctx.started.size(), 1u);  // head-of-line blocking on total requests
+  ctx.finish(ctx.started[0], policy);
+  EXPECT_EQ(ctx.started.size(), 2u);
+}
+
+TEST(PolicyGs, QueueLengthsReportSingleQueue) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {32, 32, 32, 32}));
+  policy.submit(make_job(2, {1}));
+  policy.submit(make_job(3, {1}));
+  EXPECT_EQ(policy.queue_lengths(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(policy.max_queue_length(), 2u);
+}
+
+TEST(PolicyGs, FcfsOrderPreservedAcrossPartialDrains) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {32, 32, 32, 32}));
+  policy.submit(make_job(2, {32, 32, 32, 32}));
+  policy.submit(make_job(3, {1}));
+  ctx.finish(ctx.started[0], policy);
+  // Job 2 fills the system; job 3 still blocked behind nothing else.
+  ASSERT_EQ(ctx.started.size(), 2u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 2u);
+  ctx.finish(ctx.started[1], policy);
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 3u);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,158 @@
+#include "core/policy_lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace mcsim {
+namespace {
+
+using testing::FakeContext;
+using testing::make_job;
+
+TEST(PolicyLp, SingleComponentJobsGoToLocalQueues) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {8}, /*origin=*/3));
+  ASSERT_EQ(ctx.started.size(), 1u);
+  EXPECT_EQ(ctx.started[0]->allocation[0].cluster, 3u);
+  EXPECT_EQ(ctx.started[0]->queue_class, QueueClass::kLocal);
+}
+
+TEST(PolicyLp, MultiComponentJobsGoToGlobalQueue) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {16, 16}, /*origin=*/0));
+  ASSERT_EQ(ctx.started.size(), 1u);
+  EXPECT_EQ(ctx.started[0]->queue_class, QueueClass::kGlobal);
+}
+
+TEST(PolicyLp, GlobalBlockedWhileNoLocalQueueEmpty) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  // Put one waiting job in every local queue by filling the clusters first.
+  for (std::uint32_t c = 0; c < 4; ++c) policy.submit(make_job(c + 1, {32}, c));
+  for (std::uint32_t c = 0; c < 4; ++c) policy.submit(make_job(10 + c, {4}, c));
+  ASSERT_EQ(ctx.started.size(), 4u);
+  // A tiny multi-component job that WOULD fit cannot start: no local queue
+  // is empty, so the global queue has no priority clearance.
+  policy.submit(make_job(99, {1, 1}, 0));
+  EXPECT_EQ(ctx.started.size(), 4u);
+  EXPECT_EQ(policy.global_queue_length(), 1u);
+}
+
+TEST(PolicyLp, GlobalRunsWhenSomeLocalQueueIsEmpty) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  // All local queues empty: global job starts immediately.
+  policy.submit(make_job(1, {8, 8}, 0));
+  EXPECT_EQ(ctx.started.size(), 1u);
+}
+
+TEST(PolicyLp, GlobalEnabledWhenLocalQueueEmpties) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  // Fill all clusters; queue a local job everywhere; queue a global job.
+  for (std::uint32_t c = 0; c < 4; ++c) policy.submit(make_job(c + 1, {32}, c));
+  for (std::uint32_t c = 0; c < 4; ++c) policy.submit(make_job(10 + c, {8}, c));
+  policy.submit(make_job(99, {4, 4}, 0));
+  EXPECT_EQ(ctx.started.size(), 4u);
+  // Finish the job on cluster 2: local queue 2's head starts and the queue
+  // becomes empty — but the global (4,4) needs TWO clusters with room, so
+  // it still waits.
+  ctx.finish(ctx.started[2], policy);
+  ASSERT_EQ(ctx.started.size(), 5u);
+  EXPECT_EQ(ctx.started[4]->spec.id, 12u);  // the local job on cluster 2
+  // Finish the job on cluster 3: at the departure the global queue is
+  // visited first (it now fits on clusters 2 and 3), before local job 13.
+  ctx.finish(ctx.started[3], policy);
+  ASSERT_EQ(ctx.started.size(), 7u);
+  EXPECT_EQ(ctx.started[5]->spec.id, 99u);
+  EXPECT_EQ(ctx.started[6]->spec.id, 13u);
+}
+
+TEST(PolicyLp, GlobalVisitedFirstAtDepartures) {
+  FakeContext ctx({32, 32});
+  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  // Fill the system with one local job per cluster; keep queue 1 EMPTY so
+  // the global queue keeps clearance, then race a global and a local job
+  // for cluster 0's capacity.
+  policy.submit(make_job(1, {32}, 0));
+  policy.submit(make_job(2, {32}, 1));
+  policy.submit(make_job(50, {32, 32}, 0));  // global, needs both clusters
+  policy.submit(make_job(10, {32}, 0));      // local for cluster 0
+  EXPECT_EQ(ctx.started.size(), 2u);
+  ctx.finish(ctx.started[0], policy);
+  // Cluster 0 free, cluster 1 busy: global head (32,32) does not fit, gets
+  // disabled; then local 10 starts on cluster 0.
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 10u);
+  // When everything frees up, the global job goes first.
+  ctx.finish(ctx.started[1], policy);
+  ctx.finish(ctx.started[2], policy);
+  ASSERT_EQ(ctx.started.size(), 4u);
+  EXPECT_EQ(ctx.started[3]->spec.id, 50u);
+}
+
+TEST(PolicyLp, GlobalDisabledAfterMisfitUntilDeparture) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {32, 32, 32}, 0));   // occupies clusters 0,1,2
+  policy.submit(make_job(2, {32, 32}, 0));       // global head: does not fit -> disabled
+  EXPECT_EQ(ctx.started.size(), 1u);
+  // A second global job that WOULD fit (one component on cluster 3) must
+  // wait behind the disabled queue head (FCFS within the global queue).
+  policy.submit(make_job(3, {16, 16}, 0));
+  EXPECT_EQ(ctx.started.size(), 1u);
+  EXPECT_EQ(policy.global_queue_length(), 2u);
+  ctx.finish(ctx.started[0], policy);
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 2u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 3u);
+}
+
+TEST(PolicyLp, LocalQueuesHavePriorityForTheirCluster) {
+  FakeContext ctx({32, 32});
+  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  // Cluster 0 busy, local job waiting on it; global job wants cluster 0's
+  // capacity as one of its components once free.
+  policy.submit(make_job(1, {32}, 0));
+  policy.submit(make_job(10, {20}, 0));      // waits on cluster 0
+  policy.submit(make_job(50, {20, 20}, 0));  // global: needs 20 on both
+  EXPECT_EQ(ctx.started.size(), 1u);
+  ctx.finish(ctx.started[0], policy);
+  // At the departure the global queue is visited first, fits (20,20)?
+  // Cluster 0 idle 32, cluster 1 idle 32 -> global starts; then local job
+  // 10 no longer fits? 32-20=12 < 20 -> queue 0 disabled.
+  ASSERT_EQ(ctx.started.size(), 2u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 50u);
+  EXPECT_EQ(policy.queued_jobs(), 1u);
+}
+
+TEST(PolicyLp, QueueLengthsLocalsThenGlobal) {
+  FakeContext ctx({8, 8});
+  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {8}, 0));
+  policy.submit(make_job(2, {8}, 1));
+  policy.submit(make_job(3, {4}, 0));   // waits locally
+  policy.submit(make_job(4, {4, 4}, 0));  // waits globally (no empty local? q1 empty... )
+  const auto lengths = policy.queue_lengths();
+  ASSERT_EQ(lengths.size(), 3u);
+  EXPECT_EQ(lengths[0], 1u);
+  EXPECT_EQ(lengths[2], 1u);
+}
+
+TEST(PolicyLp, InvalidOriginQueueThrows) {
+  FakeContext ctx({8, 8});
+  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  EXPECT_THROW(policy.submit(make_job(1, {4}, 9)), std::invalid_argument);
+}
+
+TEST(PolicyLp, NameIsLp) {
+  FakeContext ctx({8, 8});
+  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  EXPECT_EQ(policy.name(), "LP");
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,153 @@
+#include "core/policy_ls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace mcsim {
+namespace {
+
+using testing::FakeContext;
+using testing::make_job;
+
+TEST(PolicyLs, SingleComponentJobsRunOnlyOnLocalCluster) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  // Fill cluster 2 completely via a local job there.
+  policy.submit(make_job(1, {32}, /*origin=*/2));
+  ASSERT_EQ(ctx.started.size(), 1u);
+  EXPECT_EQ(ctx.started[0]->allocation[0].cluster, 2u);
+  // Another local job for cluster 2 must wait even though 0,1,3 are idle.
+  policy.submit(make_job(2, {4}, /*origin=*/2));
+  EXPECT_EQ(ctx.started.size(), 1u);
+  EXPECT_EQ(policy.queued_jobs(), 1u);
+}
+
+TEST(PolicyLs, MultiComponentJobsSpreadOverAllClusters) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {16, 16, 16}, /*origin=*/0));
+  ASSERT_EQ(ctx.started.size(), 1u);
+  EXPECT_EQ(ctx.started[0]->allocation.size(), 3u);
+}
+
+TEST(PolicyLs, BackfillingAcrossQueues) {
+  // The LS advantage (Sect. 3.1.1): a blocked queue does not stop jobs in
+  // other queues from starting.
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {32}, 0));       // fills cluster 0
+  policy.submit(make_job(2, {16}, 0));       // blocked: cluster 0 full
+  policy.submit(make_job(3, {16}, 1));       // other queue: starts
+  policy.submit(make_job(4, {32, 32}, 2));   // multi: fits on clusters 2,3
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 4u);
+  EXPECT_EQ(policy.queued_jobs(), 1u);
+}
+
+TEST(PolicyLs, DisabledQueueStaysBlockedUntilDeparture) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {32}, 0));
+  policy.submit(make_job(2, {16}, 0));  // head does not fit -> queue 0 disabled
+  // A job that WOULD fit arrives at disabled queue 0; it must wait (the
+  // queue is disabled until the next departure).
+  policy.submit(make_job(3, {1}, 0));
+  EXPECT_EQ(ctx.started.size(), 1u);
+  EXPECT_EQ(policy.queued_jobs(), 2u);
+  // After a departure the queue is re-enabled and both start.
+  ctx.finish(ctx.started[0], policy);
+  EXPECT_EQ(ctx.started.size(), 3u);
+}
+
+TEST(PolicyLs, FcfsWithinQueue) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {32}, 1));
+  policy.submit(make_job(2, {10}, 1));
+  policy.submit(make_job(3, {5}, 1));
+  ctx.finish(ctx.started[0], policy);
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 2u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 3u);
+}
+
+TEST(PolicyLs, AtMostOneJobPerQueuePerRound) {
+  // Two queues, each with two small jobs: the start order must interleave
+  // (q0 job, q1 job, q0 job, q1 job), not drain one queue first.
+  FakeContext ctx({32, 32});
+  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  // A multi-component job blocks the whole system while both queues fill.
+  policy.submit(make_job(1, {32, 32}, 0));
+  policy.submit(make_job(10, {4}, 0));
+  policy.submit(make_job(11, {4}, 0));
+  policy.submit(make_job(20, {4}, 1));
+  policy.submit(make_job(21, {4}, 1));
+  ASSERT_EQ(ctx.started.size(), 1u);
+  ctx.finish(ctx.started[0], policy);
+  ASSERT_EQ(ctx.started.size(), 5u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 10u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 20u);
+  EXPECT_EQ(ctx.started[3]->spec.id, 11u);
+  EXPECT_EQ(ctx.started[4]->spec.id, 21u);
+}
+
+TEST(PolicyLs, ReenableOrderFollowsDisableOrder) {
+  FakeContext ctx({8, 8});
+  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  // Block both clusters.
+  policy.submit(make_job(1, {8}, 0));
+  policy.submit(make_job(2, {8}, 1));
+  // Disable queue 1 first (submit a blocked job there), then queue 0.
+  policy.submit(make_job(20, {8}, 1));
+  policy.submit(make_job(10, {8}, 0));
+  EXPECT_EQ(ctx.started.size(), 2u);
+  // Free only cluster 1; visiting must start with queue 1 (disabled first).
+  ctx.finish(ctx.started[1], policy);
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 20u);
+}
+
+TEST(PolicyLs, MultiComponentHeadCanBlockLocalQueue) {
+  FakeContext ctx({32, 32, 32, 32});
+  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {32, 32, 32}, 0));  // uses clusters 0,1,2
+  policy.submit(make_job(2, {20, 20}, 1));      // needs two clusters with 20: only cluster 3 free
+  EXPECT_EQ(ctx.started.size(), 1u);
+  // Queue 1 is disabled; a local job for idle cluster 3 in queue 3 starts.
+  policy.submit(make_job(3, {10}, 3));
+  EXPECT_EQ(ctx.started.size(), 2u);
+}
+
+TEST(PolicyLs, QueueLengthsPerCluster) {
+  FakeContext ctx({8, 8, 8, 8});
+  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  policy.submit(make_job(1, {8}, 0));
+  policy.submit(make_job(2, {8}, 0));
+  policy.submit(make_job(3, {8}, 2));
+  policy.submit(make_job(4, {8}, 2));
+  policy.submit(make_job(5, {8}, 2));
+  const auto lengths = policy.queue_lengths();
+  ASSERT_EQ(lengths.size(), 4u);
+  EXPECT_EQ(lengths[0], 1u);
+  EXPECT_EQ(lengths[1], 0u);
+  EXPECT_EQ(lengths[2], 2u);
+  EXPECT_EQ(policy.max_queue_length(), 2u);
+  EXPECT_EQ(policy.queued_jobs(), 3u);
+}
+
+TEST(PolicyLs, InvalidOriginQueueThrows) {
+  FakeContext ctx({8, 8});
+  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  EXPECT_THROW(policy.submit(make_job(1, {4}, /*origin=*/7)), std::invalid_argument);
+}
+
+TEST(PolicyLs, NameIsLs) {
+  FakeContext ctx({8, 8});
+  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  EXPECT_EQ(policy.name(), "LS");
+}
+
+}  // namespace
+}  // namespace mcsim

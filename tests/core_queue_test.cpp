@@ -1,0 +1,71 @@
+#include "core/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace mcsim {
+namespace {
+
+using testing::make_job;
+
+TEST(JobQueue, FifoOrder) {
+  JobQueue queue;
+  queue.push(make_job(1, {4}));
+  queue.push(make_job(2, {8}));
+  queue.push(make_job(3, {2}));
+  EXPECT_EQ(queue.pop()->spec.id, 1u);
+  EXPECT_EQ(queue.pop()->spec.id, 2u);
+  EXPECT_EQ(queue.pop()->spec.id, 3u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(JobQueue, FrontPeeksWithoutRemoving) {
+  JobQueue queue;
+  queue.push(make_job(1, {4}));
+  EXPECT_EQ(queue.front()->spec.id, 1u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(JobQueue, EnableDisable) {
+  JobQueue queue;
+  EXPECT_TRUE(queue.enabled());
+  queue.disable();
+  EXPECT_FALSE(queue.enabled());
+  queue.enable();
+  EXPECT_TRUE(queue.enabled());
+}
+
+TEST(JobQueue, EmptyAccessThrows) {
+  JobQueue queue;
+  EXPECT_THROW(queue.front(), std::invalid_argument);
+  EXPECT_THROW(queue.pop(), std::invalid_argument);
+}
+
+TEST(JobQueue, NullPushThrows) {
+  JobQueue queue;
+  EXPECT_THROW(queue.push(nullptr), std::invalid_argument);
+}
+
+TEST(JobQueue, CountsTotalEnqueued) {
+  JobQueue queue;
+  queue.push(make_job(1, {1}));
+  queue.push(make_job(2, {1}));
+  queue.pop();
+  EXPECT_EQ(queue.total_enqueued(), 2u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(Job, SpecDerivedAccessors) {
+  const auto multi = make_job(1, {16, 16});
+  EXPECT_TRUE(multi->spec.is_multi_component());
+  EXPECT_EQ(multi->spec.component_count(), 2u);
+  EXPECT_EQ(multi->spec.total_size, 32u);
+  EXPECT_FALSE(multi->started());
+
+  const auto single = make_job(2, {5});
+  EXPECT_FALSE(single->spec.is_multi_component());
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,82 @@
+#include "core/saturation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+#include "workload/das_workload.hpp"
+
+namespace mcsim {
+namespace {
+
+SaturationConfig quick_saturation(PolicyKind policy, std::uint32_t limit,
+                                  std::uint64_t completions = 6000) {
+  PaperScenario scenario;
+  scenario.policy = policy;
+  scenario.component_limit = limit;
+  return make_saturation_config(scenario, completions, /*seed=*/11);
+}
+
+TEST(Saturation, GsMaximalUtilizationIsBelowOne) {
+  const auto result = run_saturation(quick_saturation(PolicyKind::kGS, 16));
+  EXPECT_GT(result.maximal_gross_utilization, 0.3);
+  EXPECT_LT(result.maximal_gross_utilization, 0.9);
+  EXPECT_EQ(result.completions, 6000u);
+}
+
+TEST(Saturation, NetBelowGrossForMulticluster) {
+  const auto result = run_saturation(quick_saturation(PolicyKind::kGS, 16));
+  EXPECT_LT(result.maximal_net_utilization, result.maximal_gross_utilization);
+}
+
+TEST(Saturation, GrossNetRatioMatchesClosedForm) {
+  const auto result = run_saturation(quick_saturation(PolicyKind::kGS, 16, 20000));
+  const double expected_ratio = gross_net_ratio(das_s_128(), 16, 4, 1.25);
+  EXPECT_NEAR(result.maximal_gross_utilization / result.maximal_net_utilization,
+              expected_ratio, 0.03);
+}
+
+TEST(Saturation, ScGrossEqualsNet) {
+  const auto result = run_saturation(quick_saturation(PolicyKind::kSC, 16));
+  EXPECT_NEAR(result.maximal_gross_utilization, result.maximal_net_utilization, 0.02);
+}
+
+TEST(Saturation, DeterministicForSameSeed) {
+  const auto a = run_saturation(quick_saturation(PolicyKind::kGS, 24));
+  const auto b = run_saturation(quick_saturation(PolicyKind::kGS, 24));
+  EXPECT_DOUBLE_EQ(a.maximal_gross_utilization, b.maximal_gross_utilization);
+}
+
+TEST(Saturation, Limit24PacksWorstForGs) {
+  // Sect. 3.3: limit 24 splits the dominant size-64 jobs as (22,21,21),
+  // which packs far worse than (16,16,16,16) or (32,32).
+  const double u16 =
+      run_saturation(quick_saturation(PolicyKind::kGS, 16, 12000)).maximal_gross_utilization;
+  const double u24 =
+      run_saturation(quick_saturation(PolicyKind::kGS, 24, 12000)).maximal_gross_utilization;
+  const double u32 =
+      run_saturation(quick_saturation(PolicyKind::kGS, 32, 12000)).maximal_gross_utilization;
+  EXPECT_LT(u24, u16);
+  EXPECT_LT(u24, u32);
+}
+
+TEST(Saturation, RunTwiceThrows) {
+  SaturationSimulation sim(quick_saturation(PolicyKind::kGS, 16, 500));
+  (void)sim.run();
+  EXPECT_THROW(sim.run(), std::invalid_argument);
+}
+
+TEST(Saturation, InvalidConfigThrows) {
+  auto config = quick_saturation(PolicyKind::kGS, 16);
+  config.backlog = 0;
+  EXPECT_THROW(SaturationSimulation{config}, std::invalid_argument);
+}
+
+TEST(Saturation, BacklogKeepsSystemBusy) {
+  // With a constant backlog the system should never be close to idle:
+  // busy fraction well above what an unsaturated run would show.
+  const auto result = run_saturation(quick_saturation(PolicyKind::kSC, 16));
+  EXPECT_GT(result.maximal_gross_utilization, 0.4);
+}
+
+}  // namespace
+}  // namespace mcsim

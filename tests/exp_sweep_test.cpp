@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(SweepGrid, InclusiveEndpoints) {
+  const auto grid = SweepConfig::grid(0.2, 0.6, 0.1);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.2);
+  EXPECT_NEAR(grid.back(), 0.6, 1e-9);
+}
+
+TEST(SweepGrid, SinglePoint) {
+  const auto grid = SweepConfig::grid(0.5, 0.5, 0.1);
+  ASSERT_EQ(grid.size(), 1u);
+}
+
+TEST(Scenario, LabelsAreDescriptive) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kLS;
+  scenario.component_limit = 16;
+  scenario.balanced_queues = false;
+  EXPECT_EQ(scenario.label(), "LS limit=16 unbalanced DAS-s-128");
+
+  PaperScenario sc;
+  sc.policy = PolicyKind::kSC;
+  sc.limit_total_size_64 = true;
+  EXPECT_EQ(sc.label(), "SC DAS-s-64");
+}
+
+TEST(Scenario, PaperConfigUsesDasLayout) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kLS;
+  const auto config = make_paper_config(scenario, 0.4, 1000, 1);
+  EXPECT_EQ(config.cluster_sizes, (std::vector<std::uint32_t>{32, 32, 32, 32}));
+  EXPECT_EQ(config.total_processors(), 128u);
+  EXPECT_TRUE(config.workload.split_jobs);
+
+  PaperScenario sc;
+  sc.policy = PolicyKind::kSC;
+  const auto sc_config = make_paper_config(sc, 0.4, 1000, 1);
+  EXPECT_EQ(sc_config.cluster_sizes, (std::vector<std::uint32_t>{128}));
+  EXPECT_FALSE(sc_config.workload.split_jobs);
+}
+
+TEST(Scenario, UnbalancedSetsQueueWeights) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kLS;
+  scenario.balanced_queues = false;
+  const auto config = make_paper_config(scenario, 0.4, 1000, 1);
+  ASSERT_EQ(config.workload.queue_weights.size(), 4u);
+  EXPECT_DOUBLE_EQ(config.workload.queue_weights[0], 0.4);
+  EXPECT_DOUBLE_EQ(config.workload.queue_weights[1], 0.2);
+}
+
+TEST(Scenario, DasS64UsesCutDistribution) {
+  PaperScenario scenario;
+  scenario.limit_total_size_64 = true;
+  const auto config = make_paper_config(scenario, 0.4, 1000, 1);
+  EXPECT_DOUBLE_EQ(config.workload.size_distribution.max_value(), 64.0);
+}
+
+TEST(Sweep, StopsAfterFirstUnstablePoint) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kGS;
+  SweepConfig config;
+  config.target_utilizations = {0.2, 1.5, 0.3};  // 1.5 is far beyond saturation
+  config.jobs_per_point = 3000;
+  config.seed = 3;
+  const auto series = run_sweep(scenario, config);
+  ASSERT_EQ(series.points.size(), 2u);
+  EXPECT_FALSE(series.points[0].result.unstable);
+  EXPECT_TRUE(series.points[1].result.unstable);
+  EXPECT_DOUBLE_EQ(series.max_stable_utilization(), 0.2);
+}
+
+TEST(Sweep, ResponseMonotoneInLoadOnAverage) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kGS;
+  SweepConfig config;
+  config.target_utilizations = {0.15, 0.45};
+  config.jobs_per_point = 6000;
+  const auto series = run_sweep(scenario, config);
+  ASSERT_EQ(series.points.size(), 2u);
+  EXPECT_LT(series.points[0].result.mean_response(),
+            series.points[1].result.mean_response());
+}
+
+TEST(Report, PanelPrintsLegendAndRows) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kGS;
+  SweepConfig config;
+  config.target_utilizations = {0.2};
+  config.jobs_per_point = 2000;
+  std::vector<SweepSeries> series = {run_sweep(scenario, config)};
+
+  std::ostringstream out;
+  print_panel(out, "test panel", series);
+  EXPECT_NE(out.str().find("test panel"), std::string::npos);
+  EXPECT_NE(out.str().find("GS limit=16"), std::string::npos);
+  EXPECT_NE(out.str().find("0.200"), std::string::npos);
+
+  std::ostringstream csv;
+  write_panel_csv(csv, "panel", series, /*with_header=*/true);
+  EXPECT_NE(csv.str().find("panel,"), std::string::npos);
+  EXPECT_NE(csv.str().find("target_gross_utilization"), std::string::npos);
+
+  std::ostringstream plot;
+  print_ascii_plot(plot, series);
+  EXPECT_NE(plot.str().find("GS limit=16"), std::string::npos);
+}
+
+TEST(Report, PerformanceOrderPrefersHigherMaxUtilization) {
+  SweepSeries good, bad;
+  good.scenario.policy = PolicyKind::kLS;
+  bad.scenario.policy = PolicyKind::kLP;
+  SweepPoint stable;
+  stable.target_gross_utilization = 0.5;
+  stable.result.unstable = false;
+  good.points.push_back(stable);
+  SweepPoint low;
+  low.target_gross_utilization = 0.3;
+  low.result.unstable = false;
+  bad.points.push_back(low);
+  const auto order = performance_order({bad, good});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);  // "good" first
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,108 @@
+// Randomised differential test: the calendar + simulator against a trivial
+// reference model (std::multimap ordered by (time, sequence)). Thousands of
+// random schedule/cancel/pop operations must produce identical event
+// orderings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/calendar.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(CalendarFuzz, MatchesReferenceModel) {
+  Rng rng(0xFADEDCAFE);
+  for (int round = 0; round < 20; ++round) {
+    Calendar calendar;
+    // Reference: key = (time, seq); value = id. Erased lazily like cancel.
+    std::multimap<std::pair<double, std::uint64_t>, EventId> reference;
+    std::map<EventId, std::multimap<std::pair<double, std::uint64_t>, EventId>::iterator>
+        by_id;
+    std::uint64_t seq = 0;
+    std::vector<EventId> live;
+
+    for (int op = 0; op < 3000; ++op) {
+      const double dice = rng.uniform();
+      if (dice < 0.55 || calendar.empty()) {
+        const double time = rng.uniform(0.0, 1000.0);
+        const EventId id = calendar.push(time);
+        auto it = reference.emplace(std::make_pair(time, seq++), id);
+        by_id[id] = it;
+        live.push_back(id);
+      } else if (dice < 0.75 && !live.empty()) {
+        // Cancel a random live event.
+        const auto pick = rng.uniform_int(live.size());
+        const EventId id = live[pick];
+        live.erase(live.begin() + static_cast<long>(pick));
+        EXPECT_TRUE(calendar.cancel(id));
+        reference.erase(by_id.at(id));
+        by_id.erase(id);
+      } else {
+        // Pop and compare.
+        ASSERT_FALSE(reference.empty());
+        const auto entry = calendar.pop();
+        const auto expected = reference.begin();
+        EXPECT_EQ(entry.id, expected->second);
+        EXPECT_DOUBLE_EQ(entry.time, expected->first.first);
+        by_id.erase(expected->second);
+        std::erase(live, expected->second);
+        reference.erase(expected);
+      }
+      ASSERT_EQ(calendar.size(), reference.size());
+    }
+
+    // Drain both; order must agree to the end.
+    while (!calendar.empty()) {
+      const auto entry = calendar.pop();
+      const auto expected = reference.begin();
+      EXPECT_EQ(entry.id, expected->second);
+      reference.erase(expected);
+    }
+    EXPECT_TRUE(reference.empty());
+  }
+}
+
+TEST(SimulatorFuzz, RandomSelfSchedulingHandlersStayConsistent) {
+  // Handlers randomly schedule more events and cancel others; the run must
+  // execute every non-cancelled event exactly once, in time order.
+  Simulator sim;
+  Rng rng(77);
+  std::vector<double> fire_times;
+  std::vector<EventId> cancellable;
+  int budget = 4000;
+
+  std::function<void()> chaotic = [&] {
+    fire_times.push_back(sim.now());
+    if (budget <= 0) return;
+    const int spawns = 1 + static_cast<int>(rng.uniform_int(2));  // supercritical
+    for (int i = 0; i < spawns && budget > 0; ++i) {
+      --budget;
+      const EventId id = sim.schedule_in(rng.uniform(0.0, 10.0), chaotic);
+      if (rng.uniform() < 0.3) cancellable.push_back(id);
+    }
+    if (!cancellable.empty() && rng.uniform() < 0.25) {
+      const auto pick = rng.uniform_int(cancellable.size());
+      sim.cancel(cancellable[pick]);  // may already have fired: both fine
+      cancellable.erase(cancellable.begin() + static_cast<long>(pick));
+    }
+  };
+  for (int i = 0; i < 10; ++i) {
+    --budget;
+    sim.schedule_in(rng.uniform(0.0, 10.0), chaotic);
+  }
+  sim.run();
+
+  // Time-ordered execution.
+  for (std::size_t i = 1; i < fire_times.size(); ++i) {
+    EXPECT_GE(fire_times[i], fire_times[i - 1]);
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_GT(fire_times.size(), 100u);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,187 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.schedule_at(2.0, [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(1.0, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[0], 1.0);
+  EXPECT_DOUBLE_EQ(seen[1], 2.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, HandlersCanScheduleChains) {
+  Simulator sim;
+  int count = 0;
+  EventHandler tick = [&]() {
+    ++count;
+    if (count < 5) sim.schedule_in(1.0, [&] { tick(); });
+  };
+  sim.schedule_in(1.0, tick);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelFromWithinHandler) {
+  Simulator sim;
+  bool second_fired = false;
+  EventId second = kNoEvent;
+  sim.schedule_at(1.0, [&] { EXPECT_TRUE(sim.cancel(second)); });
+  second = sim.schedule_at(2.0, [&] { second_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(3.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<double> seen;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&seen, &sim] { seen.push_back(sim.now()); });
+  }
+  sim.run_until(2.0);
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run_until(10.0);
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);  // clock advances to the boundary
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, NullHandlerThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 10u);
+}
+
+TEST(Simulator, ResetRestoresInitialState) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run();
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 0u);
+  bool fired = false;
+  sim.schedule_at(0.5, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, SimultaneousEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, MMOneQueueMatchesTheory) {
+  // M/M/1 sanity check of the whole engine: lambda = 0.5, mu = 1.0
+  // -> utilization 0.5, mean number in system rho/(1-rho) = 1, mean
+  // response time 1/(mu-lambda) = 2.
+  Simulator sim;
+  Rng rng(2024);
+  const double lambda = 0.5, mu = 1.0;
+  int in_system = 0;
+  double total_response = 0.0;
+  int completed = 0;
+  std::vector<double> queue_arrival_times;
+  double busy_until = 0.0;
+
+  std::function<void()> depart;
+  std::function<void()> arrive = [&] {
+    const double now = sim.now();
+    // Departure for this job: starts after the server frees up.
+    const double start = std::max(now, busy_until);
+    const double service = rng.exponential_mean(1.0 / mu);
+    busy_until = start + service;
+    ++in_system;
+    sim.schedule_at(busy_until, [&, arrival = now] {
+      --in_system;
+      total_response += sim.now() - arrival;
+      ++completed;
+    });
+    if (completed + in_system < 20000) sim.schedule_in(rng.exponential_mean(1.0 / lambda), arrive);
+  };
+  sim.schedule_in(rng.exponential_mean(1.0 / lambda), arrive);
+  sim.run();
+  EXPECT_GE(completed, 19000);
+  EXPECT_NEAR(total_response / completed, 2.0, 0.25);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,88 @@
+#include "stats/autocorrelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace mcsim {
+namespace {
+
+std::vector<double> iid_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> series(n);
+  for (auto& x : series) x = rng.uniform();
+  return series;
+}
+
+std::vector<double> ar1_series(std::size_t n, double phi, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> series(n);
+  double level = 0.0;
+  for (auto& x : series) {
+    level = phi * level + rng.normal();
+    x = level;
+  }
+  return series;
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  EXPECT_DOUBLE_EQ(autocorrelation(iid_series(100, 1), 0), 1.0);
+}
+
+TEST(Autocorrelation, IidIsNearZeroAtPositiveLags) {
+  const auto series = iid_series(20000, 2);
+  for (std::size_t lag : {1u, 2u, 5u, 10u}) {
+    EXPECT_LT(std::fabs(autocorrelation(series, lag)), 0.03) << "lag " << lag;
+  }
+}
+
+TEST(Autocorrelation, Ar1MatchesPhiPowers) {
+  const double phi = 0.8;
+  const auto series = ar1_series(50000, phi, 3);
+  EXPECT_NEAR(autocorrelation(series, 1), phi, 0.03);
+  EXPECT_NEAR(autocorrelation(series, 2), phi * phi, 0.04);
+  EXPECT_NEAR(autocorrelation(series, 3), phi * phi * phi, 0.05);
+}
+
+TEST(Autocorrelation, DegenerateInputsSafe) {
+  EXPECT_DOUBLE_EQ(autocorrelation({}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({1.0}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({2.0, 2.0, 2.0}, 1), 0.0);  // zero variance
+  EXPECT_DOUBLE_EQ(autocorrelation(iid_series(10, 4), 20), 0.0);  // lag >= n
+}
+
+TEST(AutocorrelationFunction, StartsAtOneAndHasRightLength) {
+  const auto acf = autocorrelation_function(iid_series(1000, 5), 10);
+  ASSERT_EQ(acf.size(), 11u);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(VonNeumann, NearTwoForIid) {
+  EXPECT_NEAR(von_neumann_ratio(iid_series(20000, 6)), 2.0, 0.1);
+}
+
+TEST(VonNeumann, SmallForPositivelyCorrelated) {
+  EXPECT_LT(von_neumann_ratio(ar1_series(20000, 0.9, 7)), 1.0);
+}
+
+TEST(VonNeumann, DegenerateSafe) {
+  EXPECT_DOUBLE_EQ(von_neumann_ratio({}), 2.0);
+  EXPECT_DOUBLE_EQ(von_neumann_ratio({5.0, 5.0}), 2.0);
+}
+
+TEST(EffectiveSampleSize, NearNForIid) {
+  const auto series = iid_series(5000, 8);
+  EXPECT_GT(effective_sample_size(series), 3500.0);
+}
+
+TEST(EffectiveSampleSize, ShrinksForCorrelatedData) {
+  const auto series = ar1_series(5000, 0.9, 9);
+  // Theoretical ESS factor for AR(1): (1-phi)/(1+phi) ~ 0.053.
+  EXPECT_LT(effective_sample_size(series), 1000.0);
+  EXPECT_GT(effective_sample_size(series), 50.0);
+}
+
+}  // namespace
+}  // namespace mcsim

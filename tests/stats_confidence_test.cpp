@@ -1,0 +1,101 @@
+#include "stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.95), 1.644854, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.999), 3.090232, 1e-5);
+}
+
+TEST(NormalQuantile, SymmetricAroundHalf) {
+  for (double p : {0.6, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9);
+  }
+}
+
+TEST(NormalQuantile, OutOfRangeThrows) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(TCritical, KnownTableValues) {
+  // Standard two-sided 95% t-table values.
+  EXPECT_NEAR(t_critical(1, 0.95), 12.706, 0.01);
+  EXPECT_NEAR(t_critical(5, 0.95), 2.571, 0.005);
+  EXPECT_NEAR(t_critical(10, 0.95), 2.228, 0.005);
+  EXPECT_NEAR(t_critical(30, 0.95), 2.042, 0.005);
+  EXPECT_NEAR(t_critical(19, 0.95), 2.093, 0.005);
+}
+
+TEST(TCritical, NinetyNinePercent) {
+  EXPECT_NEAR(t_critical(10, 0.99), 3.169, 0.005);
+}
+
+TEST(TCritical, ConvergesToNormalForLargeDof) {
+  EXPECT_NEAR(t_critical(100000, 0.95), 1.95996, 1e-3);
+}
+
+TEST(TCritical, ZeroDofIsInfinite) {
+  EXPECT_TRUE(std::isinf(t_critical(0, 0.95)));
+}
+
+TEST(MeanConfidence, SingleSampleIsInfinite) {
+  RunningStats s;
+  s.add(1.0);
+  const auto ci = mean_confidence(s);
+  EXPECT_TRUE(std::isinf(ci.halfwidth));
+}
+
+TEST(MeanConfidence, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  const auto ci = mean_confidence(s, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  // stddev = sqrt(2.5), se = sqrt(0.5), t_4 = 2.776.
+  EXPECT_NEAR(ci.halfwidth, 2.776 * std::sqrt(0.5), 0.01);
+  EXPECT_NEAR(ci.lo(), ci.mean - ci.halfwidth, 1e-12);
+  EXPECT_NEAR(ci.hi(), ci.mean + ci.halfwidth, 1e-12);
+}
+
+TEST(MeanConfidence, ShrinksWithSampleSize) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) large.add(i % 3);
+  EXPECT_GT(mean_confidence(small).halfwidth, mean_confidence(large).halfwidth);
+}
+
+TEST(ConfidenceInterval, RelativePrecision) {
+  ConfidenceInterval ci{10.0, 1.0};
+  EXPECT_DOUBLE_EQ(ci.relative(), 0.1);
+  ConfidenceInterval zero{0.0, 1.0};
+  EXPECT_TRUE(std::isinf(zero.relative()));
+}
+
+TEST(MeanConfidence, CoversTrueMeanAtNominalRate) {
+  // Repeated sampling from U(0,1): the 95% CI should contain 0.5 roughly
+  // 95% of the time. With 200 replications, expect >= 85% coverage.
+  Rng rng(123);
+  int covered = 0;
+  constexpr int kReps = 200;
+  for (int rep = 0; rep < kReps; ++rep) {
+    RunningStats s;
+    for (int i = 0; i < 50; ++i) s.add(rng.uniform());
+    const auto ci = mean_confidence(s, 0.95);
+    if (ci.lo() <= 0.5 && 0.5 <= ci.hi()) ++covered;
+  }
+  EXPECT_GE(covered, static_cast<int>(kReps * 0.85));
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,97 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.99);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BoundariesGoToUpperBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(1.0);  // exactly on the 0/1 boundary -> bin 1
+  EXPECT_EQ(h.bin(0), 0u);
+  EXPECT_EQ(h.bin(1), 1u);
+}
+
+TEST(Histogram, UnderflowAndOverflowCounted) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdgesAndMidpoints) {
+  Histogram h(0.0, 900.0, 90);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_mid(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(89), 890.0);
+}
+
+TEST(Histogram, FractionsNormalizeOverInRange) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(99.0);  // overflow, excluded from fractions
+  EXPECT_DOUBLE_EQ(h.fraction(0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 2.0 / 3.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(DiscreteHistogram, CountsAndFractions) {
+  DiscreteHistogram h;
+  h.add(64);
+  h.add(64);
+  h.add(1);
+  EXPECT_EQ(h.count(64), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(64), 2.0 / 3.0);
+  EXPECT_EQ(h.distinct_values(), 2u);
+}
+
+TEST(DiscreteHistogram, WeightedAdd) {
+  DiscreteHistogram h;
+  h.add(2, 10);
+  h.add(4, 30);
+  EXPECT_EQ(h.total(), 40u);
+  EXPECT_DOUBLE_EQ(h.fraction(4), 0.75);
+}
+
+TEST(DiscreteHistogram, MeanAndCv) {
+  DiscreteHistogram h;
+  h.add(1, 1);
+  h.add(3, 1);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  // Population stddev = 1, mean 2 -> CV 0.5.
+  EXPECT_DOUBLE_EQ(h.cv(), 0.5);
+}
+
+TEST(DiscreteHistogram, EmptyIsSafe) {
+  DiscreteHistogram h;
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.cv(), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+}  // namespace
+}  // namespace mcsim

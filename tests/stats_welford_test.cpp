@@ -1,0 +1,104 @@
+#include "stats/welford.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mcsim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, CvIsStddevOverMean) {
+  RunningStats s;
+  for (double x : {1.0, 3.0}) s.add(x);
+  EXPECT_NEAR(s.cv(), std::sqrt(2.0) / 2.0, 1e-12);
+}
+
+TEST(RunningStats, TracksMinMax) {
+  RunningStats s;
+  for (double x : {3.0, -1.0, 7.0, 0.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, SumMatches) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.sum(), 5050.0, 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningStats, ResetClearsEverything) {
+  RunningStats s;
+  s.add(42.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: huge mean, small variance.
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace mcsim

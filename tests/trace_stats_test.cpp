@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "trace/empirical.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace mcsim {
+namespace {
+
+std::vector<TraceRecord> small_trace() {
+  std::vector<TraceRecord> records;
+  auto add = [&](std::uint64_t id, double submit, double start, double end,
+                 std::uint32_t procs, std::uint32_t user) {
+    TraceRecord rec;
+    rec.job_id = id;
+    rec.submit_time = submit;
+    rec.start_time = start;
+    rec.end_time = end;
+    rec.processors = procs;
+    rec.user_id = user;
+    records.push_back(rec);
+  };
+  add(1, 0.0, 0.0, 100.0, 1, 0);     // service 100
+  add(2, 10.0, 20.0, 320.0, 2, 0);   // service 300
+  add(3, 20.0, 30.0, 930.0, 64, 1);  // service 900
+  add(4, 30.0, 40.0, 1240.0, 64, 2); // service 1200 (over the 900 cut)
+  add(5, 40.0, 50.0, 150.0, 7, 1);   // service 100
+  return records;
+}
+
+TEST(TraceSummary, CountsUsersJobsAndSizes) {
+  const auto summary = summarize_trace(small_trace());
+  EXPECT_EQ(summary.job_count, 5u);
+  EXPECT_EQ(summary.user_count, 3u);
+  EXPECT_EQ(summary.distinct_sizes, 4u);  // 1, 2, 7, 64
+  EXPECT_EQ(summary.min_size, 1u);
+  EXPECT_EQ(summary.max_size, 64u);
+}
+
+TEST(TraceSummary, PowerOfTwoFraction) {
+  // 1, 2, 64, 64 are powers of two; 7 is not.
+  EXPECT_DOUBLE_EQ(summarize_trace(small_trace()).power_of_two_fraction, 0.8);
+}
+
+TEST(TraceSummary, MeanSize) {
+  EXPECT_DOUBLE_EQ(summarize_trace(small_trace()).mean_size, (1 + 2 + 64 + 64 + 7) / 5.0);
+}
+
+TEST(TraceSummary, FractionUnder15Min) {
+  // Services: 100, 300, 900, 1200, 100 -> strictly under 900: 3 of 5.
+  EXPECT_DOUBLE_EQ(summarize_trace(small_trace()).fraction_under_15min, 0.6);
+}
+
+TEST(TraceSummary, DurationSpansSubmitToLastEnd) {
+  EXPECT_DOUBLE_EQ(summarize_trace(small_trace()).duration, 1240.0);
+}
+
+TEST(TraceSummary, EmptyTraceIsSafe) {
+  const auto summary = summarize_trace({});
+  EXPECT_EQ(summary.job_count, 0u);
+  EXPECT_EQ(summary.user_count, 0u);
+}
+
+TEST(JobSizeDensity, ExactCounts) {
+  const auto density = job_size_density(small_trace());
+  EXPECT_EQ(density.count(64), 2u);
+  EXPECT_EQ(density.count(1), 1u);
+  EXPECT_EQ(density.count(3), 0u);
+  EXPECT_EQ(density.total(), 5u);
+}
+
+TEST(ServiceTimeDensity, BinsUpToCut) {
+  const auto density = service_time_density(small_trace(), 900.0, 9);
+  // Services 100, 100 fall in bin [100,200); 300 in [300,400).
+  EXPECT_EQ(density.bin(1), 2u);
+  EXPECT_EQ(density.bin(3), 1u);
+  EXPECT_EQ(density.overflow(), 2u);  // 900 (== hi, exclusive) and 1200
+}
+
+TEST(FractionWithSize, MatchesCounts) {
+  EXPECT_DOUBLE_EQ(fraction_with_size(small_trace(), 64), 0.4);
+  EXPECT_DOUBLE_EQ(fraction_with_size(small_trace(), 128), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_with_size({}, 64), 0.0);
+}
+
+TEST(CutBySize, FiltersAndKeepsOrder) {
+  const auto cut = cut_by_size(small_trace(), 7);
+  ASSERT_EQ(cut.size(), 3u);
+  EXPECT_EQ(cut[0].processors, 1u);
+  EXPECT_EQ(cut[2].processors, 7u);
+}
+
+TEST(CutByService, Filters) {
+  const auto cut = cut_by_service(small_trace(), 900.0);
+  EXPECT_EQ(cut.size(), 4u);  // drops the 1200 s job, keeps the 900 s one
+}
+
+TEST(EmpiricalSizeDistribution, FrequenciesMatchTrace) {
+  const auto dist = empirical_size_distribution(small_trace());
+  EXPECT_EQ(dist.support_size(), 4u);
+  EXPECT_DOUBLE_EQ(dist.probability_of(64.0), 0.4);
+  EXPECT_DOUBLE_EQ(dist.probability_of(1.0), 0.2);
+}
+
+TEST(EmpiricalSizeDistributionCut, RenormalizesBelowCut) {
+  const auto dist = empirical_size_distribution_cut(small_trace(), 7);
+  EXPECT_EQ(dist.support_size(), 3u);
+  EXPECT_DOUBLE_EQ(dist.probability_of(1.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(dist.probability_of(64.0), 0.0);
+}
+
+TEST(EmpiricalServiceDistribution, CutsAt900) {
+  const auto dist = empirical_service_distribution(small_trace(), 900.0);
+  // Values 100 (x2), 300, 900 -> support {100, 300, 900}.
+  EXPECT_EQ(dist.support_size(), 3u);
+  EXPECT_DOUBLE_EQ(dist.probability_of(100.0), 0.5);
+  EXPECT_LE(dist.max_value(), 900.0);
+}
+
+TEST(EmpiricalDistributions, EmptyTraceThrows) {
+  EXPECT_THROW(empirical_size_distribution({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,112 @@
+#include "trace/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mcsim {
+namespace {
+
+TraceRecord sample_record() {
+  TraceRecord rec;
+  rec.job_id = 7;
+  rec.submit_time = 100.0;
+  rec.start_time = 130.0;
+  rec.end_time = 430.0;
+  rec.processors = 16;
+  rec.user_id = 3;
+  rec.killed_by_limit = false;
+  return rec;
+}
+
+TEST(Swf, RoundTripPreservesFields) {
+  SwfTrace trace;
+  trace.header_comments = {"Synthetic log", "MaxNodes: 128"};
+  trace.records = {sample_record()};
+  auto killed = sample_record();
+  killed.job_id = 8;
+  killed.killed_by_limit = true;
+  trace.records.push_back(killed);
+
+  std::stringstream buffer;
+  write_swf(buffer, trace);
+  const SwfTrace loaded = read_swf(buffer);
+
+  ASSERT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.header_comments.size(), 2u);
+  const auto& rec = loaded.records[0];
+  EXPECT_EQ(rec.job_id, 7u);
+  EXPECT_NEAR(rec.submit_time, 100.0, 0.01);
+  EXPECT_NEAR(rec.start_time, 130.0, 0.01);
+  EXPECT_NEAR(rec.end_time, 430.0, 0.02);
+  EXPECT_EQ(rec.processors, 16u);
+  EXPECT_EQ(rec.user_id, 3u);
+  EXPECT_FALSE(rec.killed_by_limit);
+  EXPECT_TRUE(loaded.records[1].killed_by_limit);
+}
+
+TEST(Swf, DerivedQuantities) {
+  const auto rec = sample_record();
+  EXPECT_DOUBLE_EQ(rec.wait_time(), 30.0);
+  EXPECT_DOUBLE_EQ(rec.service_time(), 300.0);
+  EXPECT_DOUBLE_EQ(rec.response_time(), 330.0);
+}
+
+TEST(Swf, ParsesStandardFormatLine) {
+  // A plain SWF line as found in the Parallel Workloads Archive.
+  std::istringstream in(
+      "; Comment line\n"
+      "1 0 10 360 32 -1 -1 32 -1 -1 1 5 -1 -1 -1 -1 -1 -1\n");
+  const SwfTrace trace = read_swf(in);
+  ASSERT_EQ(trace.records.size(), 1u);
+  const auto& rec = trace.records[0];
+  EXPECT_EQ(rec.job_id, 1u);
+  EXPECT_DOUBLE_EQ(rec.submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(rec.start_time, 10.0);
+  EXPECT_DOUBLE_EQ(rec.end_time, 370.0);
+  EXPECT_EQ(rec.processors, 32u);
+  EXPECT_EQ(rec.user_id, 5u);
+}
+
+TEST(Swf, NegativeWaitAndRunAreClamped) {
+  std::istringstream in("1 50 -1 -1 8 -1 -1 8 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n");
+  const SwfTrace trace = read_swf(in);
+  ASSERT_EQ(trace.records.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.records[0].start_time, 50.0);
+  EXPECT_DOUBLE_EQ(trace.records[0].service_time(), 0.0);
+}
+
+TEST(Swf, FallsBackToRequestedProcessors) {
+  // Allocated procs (field 5) missing -> use requested (field 8).
+  std::istringstream in("1 0 0 10 -1 -1 -1 24 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n");
+  const SwfTrace trace = read_swf(in);
+  EXPECT_EQ(trace.records[0].processors, 24u);
+}
+
+TEST(Swf, SkipsBlankLines) {
+  std::istringstream in("\n\n1 0 0 10 4 -1 -1 4 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n\n");
+  EXPECT_EQ(read_swf(in).records.size(), 1u);
+}
+
+TEST(Swf, MalformedLineThrows) {
+  std::istringstream in("1 2 3\n");
+  EXPECT_THROW(read_swf(in), std::invalid_argument);
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW(read_swf_file("/nonexistent/path/trace.swf"), std::invalid_argument);
+}
+
+TEST(Swf, FileRoundTrip) {
+  SwfTrace trace;
+  trace.header_comments = {"file round trip"};
+  trace.records = {sample_record()};
+  const std::string path = ::testing::TempDir() + "/mcsim_swf_test.swf";
+  write_swf_file(path, trace);
+  const SwfTrace loaded = read_swf_file(path);
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records[0].processors, 16u);
+}
+
+}  // namespace
+}  // namespace mcsim

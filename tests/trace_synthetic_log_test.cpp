@@ -1,0 +1,163 @@
+#include "trace/synthetic_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/empirical.hpp"
+#include "trace/trace_stats.hpp"
+#include "workload/das_workload.hpp"
+
+namespace mcsim {
+namespace {
+
+SyntheticLogConfig small_config() {
+  SyntheticLogConfig config;
+  config.num_jobs = 8000;
+  config.duration_seconds = 30.0 * 24 * 3600;
+  config.seed = 99;
+  return config;
+}
+
+const SwfTrace& shared_log() {
+  static const SwfTrace trace = generate_synthetic_das1_log(small_config());
+  return trace;
+}
+
+TEST(SyntheticLog, GeneratesRequestedJobCount) {
+  EXPECT_EQ(shared_log().records.size(), 8000u);
+}
+
+TEST(SyntheticLog, SubmitTimesSortedAndWithinSpan) {
+  const auto& records = shared_log().records;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].submit_time, records[i - 1].submit_time);
+  }
+  // Arrival intensity was calibrated to ~fit the configured duration.
+  EXPECT_LT(records.back().submit_time, 2.5 * small_config().duration_seconds);
+}
+
+TEST(SyntheticLog, StartNotBeforeSubmitAndPositiveService) {
+  for (const auto& rec : shared_log().records) {
+    EXPECT_GE(rec.start_time, rec.submit_time);
+    EXPECT_GT(rec.service_time(), 0.0);
+  }
+}
+
+TEST(SyntheticLog, SizesMatchDasS128Support) {
+  const auto summary = summarize_trace(shared_log().records);
+  EXPECT_GE(summary.min_size, 1u);
+  EXPECT_LE(summary.max_size, 128u);
+  // With 8000 draws from a 58-value distribution nearly all values appear.
+  EXPECT_GE(summary.distinct_sizes, 50u);
+  EXPECT_LE(summary.distinct_sizes, 58u);
+}
+
+TEST(SyntheticLog, PowerOfTwoFractionNearTable1) {
+  const auto summary = summarize_trace(shared_log().records);
+  EXPECT_NEAR(summary.power_of_two_fraction, 0.705, 0.03);
+}
+
+TEST(SyntheticLog, UsesConfiguredUserPopulation) {
+  const auto summary = summarize_trace(shared_log().records);
+  EXPECT_EQ(summary.user_count, 20u);
+}
+
+TEST(SyntheticLog, WorkingHourJobsAreKilledAtLimit) {
+  for (const auto& rec : shared_log().records) {
+    if (rec.killed_by_limit) {
+      EXPECT_DOUBLE_EQ(rec.service_time(), 900.0);
+      EXPECT_TRUE(in_working_hours(std::fmod(rec.submit_time, 86400.0)));
+    }
+    // No working-hours job may exceed the limit.
+    if (in_working_hours(std::fmod(rec.submit_time, 86400.0))) {
+      EXPECT_LE(rec.service_time(), 900.0);
+    }
+  }
+}
+
+TEST(SyntheticLog, MostJobsUnder15Minutes) {
+  const auto summary = summarize_trace(shared_log().records);
+  EXPECT_GT(summary.fraction_under_15min, 0.7);
+}
+
+TEST(SyntheticLog, FcfsReplayNeverOversubscribes) {
+  // Sweep the start/end events and check occupancy <= 128 at all times.
+  struct Event {
+    double time;
+    std::int32_t delta;
+  };
+  std::vector<Event> events;
+  for (const auto& rec : shared_log().records) {
+    events.push_back({rec.start_time, static_cast<std::int32_t>(rec.processors)});
+    events.push_back({rec.end_time, -static_cast<std::int32_t>(rec.processors)});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.delta < b.delta;  // releases before allocations at equal times
+  });
+  std::int64_t occupancy = 0;
+  for (const auto& event : events) {
+    occupancy += event.delta;
+    EXPECT_GE(occupancy, 0);
+    EXPECT_LE(occupancy, 128);
+  }
+}
+
+TEST(SyntheticLog, DeterministicForSameSeed) {
+  const SwfTrace a = generate_synthetic_das1_log(small_config());
+  const SwfTrace b = generate_synthetic_das1_log(small_config());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].submit_time, b.records[i].submit_time);
+    EXPECT_EQ(a.records[i].processors, b.records[i].processors);
+  }
+}
+
+TEST(SyntheticLog, DifferentSeedsDiffer) {
+  auto config = small_config();
+  config.seed = 1234;
+  const SwfTrace other = generate_synthetic_das1_log(config);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < other.records.size(); ++i) {
+    if (other.records[i].processors != shared_log().records[i].processors) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticLog, EmpiricalSizeDistributionTracksDasS128) {
+  // Closing the trace-based loop: the empirical size distribution derived
+  // from the synthetic log must agree with the generating DAS-s-128 on the
+  // heavy sizes.
+  const auto dist = empirical_size_distribution(shared_log().records);
+  EXPECT_NEAR(dist.probability_of(64.0), 0.19, 0.025);
+  EXPECT_NEAR(dist.probability_of(2.0), 0.13, 0.02);
+  EXPECT_NEAR(dist.mean(), das_s_128().mean(), 1.5);
+}
+
+TEST(InWorkingHours, NineToFive) {
+  EXPECT_FALSE(in_working_hours(8.99 * 3600));
+  EXPECT_TRUE(in_working_hours(9.0 * 3600));
+  EXPECT_TRUE(in_working_hours(16.99 * 3600));
+  EXPECT_FALSE(in_working_hours(17.0 * 3600));
+  EXPECT_FALSE(in_working_hours(3.0 * 3600));
+}
+
+TEST(DailyProfile, PeaksDuringWorkingHours) {
+  EXPECT_DOUBLE_EQ(das1_daily_profile(12 * 3600), 1.0);
+  EXPECT_LT(das1_daily_profile(2 * 3600), das1_daily_profile(12 * 3600));
+  EXPECT_LT(das1_daily_profile(20 * 3600), das1_daily_profile(12 * 3600));
+}
+
+TEST(SyntheticLog, InvalidConfigThrows) {
+  SyntheticLogConfig config;
+  config.num_jobs = 0;
+  EXPECT_THROW(generate_synthetic_das1_log(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcsim

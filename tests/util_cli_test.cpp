@@ -1,0 +1,118 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcsim {
+namespace {
+
+CliParser make_parser() {
+  CliParser parser("test program");
+  parser.add_option("jobs", "1000", "number of jobs");
+  parser.add_option("policy", "GS", "policy name");
+  parser.add_option("rho", "0.5", "utilization");
+  parser.add_flag("verbose", "log more");
+  return parser;
+}
+
+TEST(CliParser, DefaultsApplyWhenUnset) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get("policy"), "GS");
+  EXPECT_EQ(parser.get_int("jobs"), 1000);
+  EXPECT_DOUBLE_EQ(parser.get_double("rho"), 0.5);
+  EXPECT_FALSE(parser.get_flag("verbose"));
+}
+
+TEST(CliParser, EqualsSyntax) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--jobs=42", "--policy=LS"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("jobs"), 42);
+  EXPECT_EQ(parser.get("policy"), "LS");
+}
+
+TEST(CliParser, SpaceSyntax) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--jobs", "7", "--rho", "0.85"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_int("jobs"), 7);
+  EXPECT_DOUBLE_EQ(parser.get_double("rho"), 0.85);
+}
+
+TEST(CliParser, FlagsAndPositionals) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--verbose", "input.swf", "other"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  EXPECT_TRUE(parser.get_flag("verbose"));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.swf");
+}
+
+TEST(CliParser, UnknownOptionThrows) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(parser.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, MissingValueThrows) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--jobs"};
+  EXPECT_THROW(parser.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, FlagWithValueThrows) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--verbose=1"};
+  EXPECT_THROW(parser.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, NonNumericValueThrows) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--jobs=abc"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_THROW(parser.get_int("jobs"), std::invalid_argument);
+}
+
+TEST(CliParser, NegativeUintThrows) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--jobs=-3"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_THROW(parser.get_uint("jobs"), std::invalid_argument);
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(parser.parse(2, argv));
+  const std::string help = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(help.find("--policy"), std::string::npos);
+}
+
+TEST(CliParser, DuplicateDeclarationThrows) {
+  CliParser parser("p");
+  parser.add_option("x", "1", "");
+  EXPECT_THROW(parser.add_option("x", "2", ""), std::invalid_argument);
+  EXPECT_THROW(parser.add_flag("x", ""), std::invalid_argument);
+}
+
+TEST(CliParser, UndeclaredGetThrows) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_THROW(parser.get("missing"), std::invalid_argument);
+  EXPECT_THROW(parser.get_flag("missing"), std::invalid_argument);
+}
+
+TEST(CliParser, LastValueWins) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--jobs=1", "--jobs=2"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("jobs"), 2);
+}
+
+}  // namespace
+}  // namespace mcsim

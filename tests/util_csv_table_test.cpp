@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(CsvEscape, PlainFieldsUntouched) {
+  EXPECT_EQ(csv_escape("abc"), "abc");
+  EXPECT_EQ(csv_escape("1.5"), "1.5");
+}
+
+TEST(CsvEscape, QuotesFieldsWithCommas) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) { EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\""); }
+
+TEST(CsvEscape, QuotesNewlines) { EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"x", "y"});
+  csv.add(std::int64_t{1}).add(2.5, 1);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "x,y\n1,2.5\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriter, RowConvenience) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b,c"});
+  EXPECT_EQ(out.str(), "a,\"b,c\"\n");
+}
+
+TEST(CsvWriter, UnsignedAndPrecision) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.add(std::uint64_t{18446744073709551615ULL}).add(1.0 / 3.0, 4);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "18446744073709551615,0.3333\n");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1.5"});
+  table.add_row({"b", "22.75"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  // Numeric column is right-aligned: "  1.5" under "value".
+  EXPECT_NE(text.find("  1.5"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyColumnsThrow) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable table({"a"});
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace mcsim

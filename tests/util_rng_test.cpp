@@ -1,0 +1,132 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace mcsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng rng(13);
+  constexpr std::uint64_t kBuckets = 7;
+  std::array<int, kBuckets> counts{};
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) counts[rng.uniform_int(kBuckets)]++;
+  for (int c : counts) EXPECT_NEAR(c, kN / static_cast<int>(kBuckets), 600);
+}
+
+TEST(Rng, UniformIntOfOneIsZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential_mean(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential_mean(1.0), 0.0);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng rng(23);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sumsq += z * z;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sumsq / kN, 1.0, 0.02);
+}
+
+TEST(Rng, JumpDecorrelatesStreams) {
+  Rng a(99);
+  Rng b(99);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(DeriveStreamSeed, DistinctNamesGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (const char* name : {"arrivals", "sizes", "services", "queues", "a", "b", "ab"}) {
+    seeds.insert(derive_stream_seed(1234, name));
+  }
+  EXPECT_EQ(seeds.size(), 7u);
+}
+
+TEST(DeriveStreamSeed, DependsOnMasterSeed) {
+  EXPECT_NE(derive_stream_seed(1, "arrivals"), derive_stream_seed(2, "arrivals"));
+}
+
+TEST(MakeStream, ReproducibleByName) {
+  Rng a = make_stream(55, "sizes");
+  Rng b = make_stream(55, "sizes");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Splitmix64, KnownSequenceAdvancesState) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  const auto a = splitmix64(s1);
+  const auto b = splitmix64(s1);
+  EXPECT_NE(a, b);
+  // Same starting state gives the same first output.
+  EXPECT_EQ(a, splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace mcsim

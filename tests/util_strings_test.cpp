@@ -1,0 +1,65 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+TEST(FormatDouble, RoundsToRequestedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatUtil, UsesThreeDecimals) {
+  EXPECT_EQ(format_util(0.553), "0.553");
+  EXPECT_EQ(format_util(1.0), "1.000");
+}
+
+TEST(StrPrintf, FormatsLikePrintf) {
+  EXPECT_EQ(str_printf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(str_printf("%.2f", 3.14159), "3.14");
+}
+
+TEST(StrPrintf, EmptyFormatYieldsEmptyString) { EXPECT_EQ(str_printf("%s", ""), ""); }
+
+TEST(Split, SplitsOnDelimiter) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Split, SingleFieldWithoutDelimiter) {
+  const auto fields = split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(Trim, StripsWhitespaceBothSides) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\nabc\r "), "abc");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty) { EXPECT_EQ(trim("   \t"), ""); }
+
+TEST(StartsWith, MatchesPrefixesOnly) {
+  EXPECT_TRUE(starts_with("--option", "--"));
+  EXPECT_FALSE(starts_with("-o", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(ToLower, LowersAsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-12"), "abc-12");
+}
+
+}  // namespace
+}  // namespace mcsim

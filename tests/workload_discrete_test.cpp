@@ -1,0 +1,125 @@
+#include "workload/discrete.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(DiscreteDistribution, NormalizesWeights) {
+  DiscreteDistribution d({1.0, 2.0}, {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(d.probability_of(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.probability_of(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.probability_of(3.0), 0.0);
+}
+
+TEST(DiscreteDistribution, AnalyticMoments) {
+  DiscreteDistribution d({1.0, 3.0}, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(d.cv(), 0.5);
+}
+
+TEST(DiscreteDistribution, SamplingFrequenciesMatchProbabilities) {
+  DiscreteDistribution d({1.0, 2.0, 4.0, 8.0}, {0.4, 0.3, 0.2, 0.1});
+  Rng rng(2718);
+  std::map<double, int> counts;
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) ++counts[d.sample(rng)];
+  EXPECT_NEAR(counts[1.0] / double(kN), 0.4, 0.005);
+  EXPECT_NEAR(counts[2.0] / double(kN), 0.3, 0.005);
+  EXPECT_NEAR(counts[4.0] / double(kN), 0.2, 0.005);
+  EXPECT_NEAR(counts[8.0] / double(kN), 0.1, 0.005);
+}
+
+TEST(DiscreteDistribution, SingleValueAlwaysSampled) {
+  DiscreteDistribution d({42.0}, {1.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 42.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(DiscreteDistribution, ZeroWeightValuesNeverSampled) {
+  DiscreteDistribution d({1.0, 2.0, 3.0}, {1.0, 0.0, 1.0});
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) EXPECT_NE(d.sample(rng), 2.0);
+}
+
+TEST(DiscreteDistribution, LargeSkewedSupportAliasTable) {
+  // 1000 values with strongly decaying weights must still sample correctly.
+  std::vector<double> values, weights;
+  for (int i = 1; i <= 1000; ++i) {
+    values.push_back(i);
+    weights.push_back(1.0 / (i * i));
+  }
+  DiscreteDistribution d(values, weights);
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kN = 300000;
+  for (int i = 0; i < kN; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / kN, d.mean(), 0.02 * d.mean());
+}
+
+TEST(DiscreteDistribution, MinMaxValues) {
+  DiscreteDistribution d({8.0, 1.0, 64.0}, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(d.min_value(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max_value(), 64.0);
+  EXPECT_EQ(d.support_size(), 3u);
+}
+
+TEST(DiscreteDistribution, TruncateAboveRenormalizes) {
+  DiscreteDistribution d({1.0, 64.0, 128.0}, {0.5, 0.3, 0.2});
+  double removed = 0.0;
+  const auto cut = d.truncate_above(64.0, &removed);
+  EXPECT_NEAR(removed, 0.2, 1e-12);
+  EXPECT_EQ(cut.support_size(), 2u);
+  EXPECT_NEAR(cut.probability_of(1.0), 0.5 / 0.8, 1e-12);
+  EXPECT_NEAR(cut.probability_of(64.0), 0.3 / 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(cut.max_value(), 64.0);
+}
+
+TEST(DiscreteDistribution, TruncateAboveLowersMean) {
+  DiscreteDistribution d({1.0, 128.0}, {0.9, 0.1});
+  const auto cut = d.truncate_above(64.0);
+  EXPECT_LT(cut.mean(), d.mean());
+}
+
+TEST(DiscreteDistribution, TruncatingEverythingThrows) {
+  DiscreteDistribution d({10.0, 20.0}, {1.0, 1.0});
+  EXPECT_THROW(d.truncate_above(5.0), std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, InvalidConstructionThrows) {
+  EXPECT_THROW(DiscreteDistribution({}, {}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({1.0, 1.0}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({1.0}, {-1.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({1.0, 2.0}, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, DefaultIsDegenerateOne) {
+  DiscreteDistribution d;
+  EXPECT_DOUBLE_EQ(d.mean(), 1.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(d.sample(rng), 1.0);
+}
+
+TEST(DiscreteDistribution, ProbabilitiesAlignWithValues) {
+  DiscreteDistribution d({5.0, 6.0, 7.0}, {1.0, 2.0, 1.0});
+  const auto& values = d.values();
+  const auto& probs = d.probabilities();
+  ASSERT_EQ(values.size(), probs.size());
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(probs[i], d.probability_of(values[i]));
+  }
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "trace/empirical.hpp"
+#include "trace/synthetic_log.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/rng.hpp"
+#include "workload/distributions.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(PiecewiseLinear, SamplesStayWithinRange) {
+  const auto d = PiecewiseLinearDistribution::from_samples({5.0, 1.0, 3.0, 9.0});
+  EXPECT_DOUBLE_EQ(d.min_value(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max_value(), 9.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 9.0);
+  }
+}
+
+TEST(PiecewiseLinear, TwoPointsIsUniform) {
+  const auto d = PiecewiseLinearDistribution::from_samples({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+  EXPECT_NEAR(d.variance(), 100.0 / 12.0, 1e-9);
+}
+
+TEST(PiecewiseLinear, SampleMomentsMatchAnalytic) {
+  Rng source(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(source.exponential_mean(100.0));
+  const auto d = PiecewiseLinearDistribution::from_samples(samples);
+  Rng rng(11);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kN = 300000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = d.sample(rng);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, d.mean(), 0.02 * d.mean());
+  EXPECT_NEAR(sumsq / kN - mean * mean, d.variance(), 0.05 * d.variance());
+  // And the interpolated ECDF preserves the source distribution's mean.
+  EXPECT_NEAR(d.mean(), 100.0, 8.0);
+}
+
+TEST(PiecewiseLinear, ProducesNewValuesBetweenAtoms) {
+  const auto d = PiecewiseLinearDistribution::from_samples({1.0, 2.0, 4.0});
+  Rng rng(13);
+  int strictly_between = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.sample(rng);
+    if (x != 1.0 && x != 2.0 && x != 4.0) ++strictly_between;
+  }
+  EXPECT_GT(strictly_between, 950);  // unlike the discrete empirical
+}
+
+TEST(PiecewiseLinear, InvalidInputsThrow) {
+  EXPECT_THROW(PiecewiseLinearDistribution::from_samples({}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearDistribution::from_samples({1.0}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearDistribution::from_samples({2.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SmoothEmpirical, TracksDiscreteEmpiricalMoments) {
+  SyntheticLogConfig config;
+  config.num_jobs = 5000;
+  config.seed = 9;
+  const auto trace = generate_synthetic_das1_log(config);
+  const auto discrete = empirical_service_distribution(trace.records, 900.0);
+  const auto smooth = empirical_service_distribution_smooth(trace.records, 900.0);
+  EXPECT_NEAR(smooth->mean(), discrete.mean(), 0.03 * discrete.mean());
+  EXPECT_NEAR(smooth->cv(), discrete.cv(), 0.1);
+  // Bounded by the cut.
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) EXPECT_LE(smooth->sample(rng), 900.0);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,115 @@
+#include "workload/size_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "workload/distributions.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(DqDistribution, FavorsSmallSizes) {
+  const auto dist = dq_size_distribution(0.9, 1, 64);
+  EXPECT_GT(dist.probability_of(1.0), dist.probability_of(3.0));
+  EXPECT_GT(dist.probability_of(3.0), dist.probability_of(33.0));
+}
+
+TEST(DqDistribution, BoostsPowersOfTwo) {
+  const auto dist = dq_size_distribution(0.9, 1, 64, 3.0);
+  // P(8) should be ~3x a neighbouring non-power scaled by q: compare with 9.
+  EXPECT_GT(dist.probability_of(8.0), 2.0 * dist.probability_of(9.0));
+  // Without the boost, 8 and 9 differ only by the factor q.
+  const auto flat = dq_size_distribution(0.9, 1, 64, 1.0);
+  EXPECT_NEAR(flat.probability_of(9.0) / flat.probability_of(8.0), 0.9, 1e-9);
+}
+
+TEST(DqDistribution, FullSupport) {
+  const auto dist = dq_size_distribution(0.95, 1, 32);
+  EXPECT_EQ(dist.support_size(), 32u);
+  EXPECT_DOUBLE_EQ(dist.min_value(), 1.0);
+  EXPECT_DOUBLE_EQ(dist.max_value(), 32.0);
+}
+
+TEST(DqDistribution, InvalidParametersThrow) {
+  EXPECT_THROW(dq_size_distribution(1.0, 1, 32), std::invalid_argument);
+  EXPECT_THROW(dq_size_distribution(0.0, 1, 32), std::invalid_argument);
+  EXPECT_THROW(dq_size_distribution(0.9, 8, 4), std::invalid_argument);
+  EXPECT_THROW(dq_size_distribution(0.9, 0, 4), std::invalid_argument);
+}
+
+TEST(UniformSizes, EqualProbabilities) {
+  const auto dist = uniform_size_distribution(4, 7);
+  EXPECT_EQ(dist.support_size(), 4u);
+  for (double v : {4.0, 5.0, 6.0, 7.0}) {
+    EXPECT_NEAR(dist.probability_of(v), 0.25, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(dist.mean(), 5.5);
+}
+
+TEST(ZipfSizes, PowerLawShape) {
+  const auto dist = zipf_size_distribution(2.0, 1, 100);
+  EXPECT_NEAR(dist.probability_of(2.0) / dist.probability_of(1.0), 0.25, 1e-9);
+  EXPECT_NEAR(dist.probability_of(10.0) / dist.probability_of(1.0), 0.01, 1e-9);
+}
+
+TEST(ErlangDistribution, LowVariability) {
+  ErlangDistribution d(4, 25.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 100.0);
+  EXPECT_DOUBLE_EQ(d.cv(), 0.5);  // 1/sqrt(4)
+  Rng rng(1);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / kN, 100.0, 1.0);
+}
+
+TEST(ErlangDistribution, OnePhaseIsExponential) {
+  ErlangDistribution erlang(1, 10.0);
+  EXPECT_NEAR(erlang.cv(), 1.0, 1e-12);
+}
+
+TEST(GammaDistribution, MomentsMatch) {
+  GammaDistribution d(2.5, 4.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 40.0);
+  Rng rng(2);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kN = 300000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(sumsq / kN - mean * mean, 40.0, 1.5);
+}
+
+TEST(GammaDistribution, ShapeBelowOne) {
+  GammaDistribution d(0.5, 2.0);
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int kN = 300000;
+  for (int i = 0; i < kN; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / kN, 1.0, 0.03);
+}
+
+TEST(ShiftedDistribution, AddsConstant) {
+  auto inner = std::make_shared<ExponentialDistribution>(5.0);
+  ShiftedDistribution d(inner, 10.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 25.0);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(d.sample(rng), 10.0);
+}
+
+TEST(NewDistributions, InvalidParametersThrow) {
+  EXPECT_THROW(ErlangDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ErlangDistribution(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(GammaDistribution(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ShiftedDistribution(nullptr, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcsim

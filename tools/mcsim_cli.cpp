@@ -1,0 +1,251 @@
+// mcsim — the unified command-line front end to the library.
+//
+// Subcommands (first positional argument):
+//   point        one simulation at a target utilization, full metrics
+//   sweep        a response-vs-utilization curve for one scenario
+//   saturation   maximal utilization by constant backlog
+//   replications independent-replication CI for one load point
+//   trace-gen    generate a synthetic DAS1 log (SWF)
+//   trace-stats  characterise an SWF trace
+//
+// Examples:
+//   mcsim point --policy=LS --utilization=0.55 --limit=16
+//   mcsim sweep --policy=SC --from=0.3 --to=0.8 --step=0.05 --gnuplot=out/
+//   mcsim saturation --policy=GS --limit=24
+//   mcsim trace-gen --jobs=30000 --out=das1.swf --sessions
+//   mcsim trace-stats das1.swf
+#include <iostream>
+
+#include "core/saturation.hpp"
+#include "exp/gnuplot.hpp"
+#include "exp/replications.hpp"
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "trace/swf.hpp"
+#include "trace/synthetic_log.hpp"
+#include "trace/timeline.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/das_workload.hpp"
+
+namespace {
+
+using namespace mcsim;
+
+void add_scenario_options(CliParser& parser) {
+  parser.add_option("policy", "LS", "GS, LS, LP or SC");
+  parser.add_option("limit", "16", "job-component-size limit (16, 24, 32, ...)");
+  parser.add_option("extension", "1.25", "wide-area service-time extension factor");
+  parser.add_option("seed", "1", "master random seed");
+  parser.add_flag("unbalanced", "one local queue gets 40% of local submissions");
+  parser.add_flag("das64", "cap total job sizes at 64 (DAS-s-64)");
+}
+
+PaperScenario scenario_from(const CliParser& parser) {
+  PaperScenario scenario;
+  scenario.policy = parse_policy(parser.get("policy"));
+  scenario.component_limit = static_cast<std::uint32_t>(parser.get_uint("limit"));
+  scenario.extension_factor = parser.get_double("extension");
+  scenario.balanced_queues = !parser.get_flag("unbalanced");
+  scenario.limit_total_size_64 = parser.get_flag("das64");
+  return scenario;
+}
+
+int cmd_point(int argc, const char* const* argv) {
+  CliParser parser("mcsim point: one simulation at a target gross utilization");
+  add_scenario_options(parser);
+  parser.add_option("utilization", "0.5", "target gross utilization");
+  parser.add_option("jobs", "30000", "simulated jobs");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const auto scenario = scenario_from(parser);
+  const auto result = run_simulation(make_paper_config(
+      scenario, parser.get_double("utilization"), parser.get_uint("jobs"),
+      parser.get_uint("seed")));
+
+  TextTable table({"metric", "value"});
+  table.add_row({"scenario", scenario.label()});
+  table.add_row({"status", result.unstable ? "UNSTABLE (beyond saturation)" : "stable"});
+  table.add_row({"completed jobs", std::to_string(result.completed_jobs)});
+  table.add_row({"mean response (s)", format_double(result.mean_response(), 1)});
+  table.add_row({"ci95 halfwidth (s)", format_double(result.response_ci.halfwidth, 1)});
+  table.add_row({"p95 response (s)", format_double(result.response_p95, 1)});
+  table.add_row({"mean wait (s)", format_double(result.wait_all.mean(), 1)});
+  table.add_row({"mean slowdown", format_double(result.slowdown_all.mean(), 2)});
+  table.add_row({"mean jobs waiting", format_double(result.mean_queue_length, 2)});
+  table.add_row({"offered gross util", format_util(result.offered_gross_utilization)});
+  table.add_row({"offered net util", format_util(result.offered_net_utilization)});
+  table.add_row({"busy fraction", format_util(result.busy_fraction)});
+  if (result.response_local.count() > 0) {
+    table.add_row({"local-queue response (s)", format_double(result.response_local.mean(), 1)});
+  }
+  if (result.response_global.count() > 0) {
+    table.add_row(
+        {"global-queue response (s)", format_double(result.response_global.mean(), 1)});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  CliParser parser("mcsim sweep: response-vs-utilization curve");
+  add_scenario_options(parser);
+  parser.add_option("from", "0.30", "first target utilization");
+  parser.add_option("to", "0.80", "last target utilization");
+  parser.add_option("step", "0.05", "grid step");
+  parser.add_option("jobs", "20000", "jobs per sweep point");
+  parser.add_option("gnuplot", "", "write .dat/.gp into this directory");
+  if (!parser.parse(argc, argv)) return 0;
+
+  SweepConfig config;
+  config.target_utilizations = SweepConfig::grid(
+      parser.get_double("from"), parser.get_double("to"), parser.get_double("step"));
+  config.jobs_per_point = parser.get_uint("jobs");
+  config.seed = parser.get_uint("seed");
+  const auto series = run_sweep(scenario_from(parser), config);
+
+  print_panel(std::cout, "sweep: " + series.scenario.label(), {series});
+  print_ascii_plot(std::cout, {series});
+  if (const std::string dir = parser.get("gnuplot"); !dir.empty()) {
+    const auto files = write_gnuplot_panel(dir, "mcsim_sweep", series.scenario.label(),
+                                           {series});
+    std::cout << "gnuplot script: " << files.script_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_saturation(int argc, const char* const* argv) {
+  CliParser parser("mcsim saturation: maximal utilization by constant backlog");
+  add_scenario_options(parser);
+  parser.add_option("completions", "40000", "jobs to complete");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const auto scenario = scenario_from(parser);
+  const auto result = run_saturation(
+      make_saturation_config(scenario, parser.get_uint("completions"),
+                             parser.get_uint("seed")));
+  TextTable table({"metric", "value"});
+  table.add_row({"scenario", scenario.label()});
+  table.add_row({"maximal gross utilization", format_util(result.maximal_gross_utilization)});
+  table.add_row({"maximal net utilization", format_util(result.maximal_net_utilization)});
+  table.add_row({"completions", std::to_string(result.completions)});
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_replications(int argc, const char* const* argv) {
+  CliParser parser("mcsim replications: independent-replication CI for one load point");
+  add_scenario_options(parser);
+  parser.add_option("utilization", "0.5", "target gross utilization");
+  parser.add_option("jobs", "20000", "jobs per replication");
+  parser.add_option("reps", "10", "number of replications");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const auto scenario = scenario_from(parser);
+  const auto result = run_replications(scenario, parser.get_double("utilization"),
+                                       parser.get_uint("jobs"),
+                                       static_cast<std::uint32_t>(parser.get_uint("reps")),
+                                       parser.get_uint("seed"));
+  TextTable table({"metric", "value"});
+  table.add_row({"scenario", scenario.label()});
+  table.add_row({"stable replications", std::to_string(result.stable_replications())});
+  table.add_row({"unstable replications", std::to_string(result.unstable_replications)});
+  table.add_row({"mean response (s)", format_double(result.response_ci.mean, 1)});
+  table.add_row({"ci95 halfwidth (s)", format_double(result.response_ci.halfwidth, 1)});
+  table.add_row({"mean busy fraction", format_util(result.mean_busy_fraction)});
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_trace_gen(int argc, const char* const* argv) {
+  CliParser parser("mcsim trace-gen: synthesise a DAS1-like workload log (SWF)");
+  parser.add_option("jobs", "30000", "jobs in the log");
+  parser.add_option("days", "90", "log span in days");
+  parser.add_option("out", "das1_synthetic.swf", "output SWF path");
+  parser.add_option("seed", "20031128", "random seed");
+  parser.add_flag("sessions", "use the per-user session arrival model");
+  if (!parser.parse(argc, argv)) return 0;
+
+  SyntheticLogConfig config;
+  config.num_jobs = parser.get_uint("jobs");
+  config.duration_seconds = parser.get_double("days") * 86400.0;
+  config.seed = parser.get_uint("seed");
+  config.user_sessions = parser.get_flag("sessions");
+  const auto trace = generate_synthetic_das1_log(config);
+  write_swf_file(parser.get("out"), trace);
+  std::cout << "wrote " << trace.records.size() << " jobs to " << parser.get("out") << '\n';
+  return 0;
+}
+
+int cmd_trace_stats(int argc, const char* const* argv) {
+  CliParser parser("mcsim trace-stats: characterise an SWF trace");
+  parser.add_option("capacity", "128", "machine size for the utilization timeline");
+  if (!parser.parse(argc, argv)) return 0;
+  if (parser.positional().empty()) {
+    std::cerr << "usage: mcsim trace-stats <trace.swf>\n";
+    return 1;
+  }
+  const auto trace = read_swf_file(parser.positional().front());
+  const auto summary = summarize_trace(trace.records);
+  TextTable table({"statistic", "value"});
+  table.add_row({"jobs", std::to_string(summary.job_count)});
+  table.add_row({"users", std::to_string(summary.user_count)});
+  table.add_row({"span (days)", format_double(summary.duration / 86400.0, 1)});
+  table.add_row({"distinct sizes", std::to_string(summary.distinct_sizes)});
+  table.add_row({"mean size", format_double(summary.mean_size, 2)});
+  table.add_row({"size cv", format_double(summary.size_cv, 2)});
+  table.add_row({"power-of-two fraction", format_util(summary.power_of_two_fraction)});
+  table.add_row({"mean service (s)", format_double(summary.mean_service, 1)});
+  table.add_row({"service cv", format_double(summary.service_cv, 2)});
+  table.add_row({"under 15 min", format_util(summary.fraction_under_15min)});
+  std::cout << table.render() << '\n';
+  std::cout << render_utilization_timeline(
+      trace.records, static_cast<std::uint32_t>(parser.get_uint("capacity")));
+  return 0;
+}
+
+void print_usage() {
+  std::cout
+      << "mcsim — trace-based multicluster co-allocation simulator (HPDC'03 repro)\n\n"
+         "usage: mcsim <command> [options]   (each command supports --help)\n\n"
+         "commands:\n"
+         "  point         one simulation at a target utilization\n"
+         "  sweep         response-vs-utilization curve\n"
+         "  saturation    maximal utilization (constant backlog)\n"
+         "  replications  independent-replication confidence interval\n"
+         "  trace-gen     generate a synthetic DAS1 log (SWF)\n"
+         "  trace-stats   characterise an SWF trace\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parses its own options.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (command == "point") return cmd_point(sub_argc, sub_argv);
+    if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
+    if (command == "saturation") return cmd_saturation(sub_argc, sub_argv);
+    if (command == "replications") return cmd_replications(sub_argc, sub_argv);
+    if (command == "trace-gen") return cmd_trace_gen(sub_argc, sub_argv);
+    if (command == "trace-stats") return cmd_trace_stats(sub_argc, sub_argv);
+    if (command == "--help" || command == "-h" || command == "help") {
+      print_usage();
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "mcsim: " << error.what() << '\n';
+    return 1;
+  }
+  std::cerr << "mcsim: unknown command '" << command << "'\n\n";
+  print_usage();
+  return 1;
+}
