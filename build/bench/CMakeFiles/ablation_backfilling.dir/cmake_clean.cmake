@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backfilling.dir/ablation_backfilling.cpp.o"
+  "CMakeFiles/ablation_backfilling.dir/ablation_backfilling.cpp.o.d"
+  "ablation_backfilling"
+  "ablation_backfilling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backfilling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

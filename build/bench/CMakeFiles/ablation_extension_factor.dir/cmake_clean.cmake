@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extension_factor.dir/ablation_extension_factor.cpp.o"
+  "CMakeFiles/ablation_extension_factor.dir/ablation_extension_factor.cpp.o.d"
+  "ablation_extension_factor"
+  "ablation_extension_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extension_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_request_types.dir/ablation_request_types.cpp.o"
+  "CMakeFiles/ablation_request_types.dir/ablation_request_types.cpp.o.d"
+  "ablation_request_types"
+  "ablation_request_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_request_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_job_size_density.dir/fig1_job_size_density.cpp.o"
+  "CMakeFiles/fig1_job_size_density.dir/fig1_job_size_density.cpp.o.d"
+  "fig1_job_size_density"
+  "fig1_job_size_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_job_size_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

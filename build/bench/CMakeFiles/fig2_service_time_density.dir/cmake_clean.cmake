@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_service_time_density.dir/fig2_service_time_density.cpp.o"
+  "CMakeFiles/fig2_service_time_density.dir/fig2_service_time_density.cpp.o.d"
+  "fig2_service_time_density"
+  "fig2_service_time_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_service_time_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

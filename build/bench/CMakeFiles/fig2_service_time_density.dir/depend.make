@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_service_time_density.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_policy_comparison.dir/fig3_policy_comparison.cpp.o"
+  "CMakeFiles/fig3_policy_comparison.dir/fig3_policy_comparison.cpp.o.d"
+  "fig3_policy_comparison"
+  "fig3_policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_lp_saturation.dir/fig4_lp_saturation.cpp.o"
+  "CMakeFiles/fig4_lp_saturation.dir/fig4_lp_saturation.cpp.o.d"
+  "fig4_lp_saturation"
+  "fig4_lp_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_lp_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_total_size_limit.dir/fig5_total_size_limit.cpp.o"
+  "CMakeFiles/fig5_total_size_limit.dir/fig5_total_size_limit.cpp.o.d"
+  "fig5_total_size_limit"
+  "fig5_total_size_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_total_size_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

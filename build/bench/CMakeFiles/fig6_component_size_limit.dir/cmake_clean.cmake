@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_component_size_limit.dir/fig6_component_size_limit.cpp.o"
+  "CMakeFiles/fig6_component_size_limit.dir/fig6_component_size_limit.cpp.o.d"
+  "fig6_component_size_limit"
+  "fig6_component_size_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_component_size_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_gross_vs_net.dir/fig7_gross_vs_net.cpp.o"
+  "CMakeFiles/fig7_gross_vs_net.dir/fig7_gross_vs_net.cpp.o.d"
+  "fig7_gross_vs_net"
+  "fig7_gross_vs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gross_vs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

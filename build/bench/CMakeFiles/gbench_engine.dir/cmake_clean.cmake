@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_engine.dir/gbench_engine.cpp.o"
+  "CMakeFiles/gbench_engine.dir/gbench_engine.cpp.o.d"
+  "gbench_engine"
+  "gbench_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_power_of_two.dir/table1_power_of_two.cpp.o"
+  "CMakeFiles/table1_power_of_two.dir/table1_power_of_two.cpp.o.d"
+  "table1_power_of_two"
+  "table1_power_of_two.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_power_of_two.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_component_fractions.dir/table2_component_fractions.cpp.o"
+  "CMakeFiles/table2_component_fractions.dir/table2_component_fractions.cpp.o.d"
+  "table2_component_fractions"
+  "table2_component_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_component_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

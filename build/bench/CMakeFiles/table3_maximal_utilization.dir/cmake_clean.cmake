@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_maximal_utilization.dir/table3_maximal_utilization.cpp.o"
+  "CMakeFiles/table3_maximal_utilization.dir/table3_maximal_utilization.cpp.o.d"
+  "table3_maximal_utilization"
+  "table3_maximal_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_maximal_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

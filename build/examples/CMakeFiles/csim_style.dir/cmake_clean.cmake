@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csim_style.dir/csim_style.cpp.o"
+  "CMakeFiles/csim_style.dir/csim_style.cpp.o.d"
+  "csim_style"
+  "csim_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csim_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das2_heterogeneous.dir/das2_heterogeneous.cpp.o"
+  "CMakeFiles/das2_heterogeneous.dir/das2_heterogeneous.cpp.o.d"
+  "das2_heterogeneous"
+  "das2_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das2_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/mcsim_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/mcsim_cluster.dir/multicluster.cpp.o"
+  "CMakeFiles/mcsim_cluster.dir/multicluster.cpp.o.d"
+  "CMakeFiles/mcsim_cluster.dir/placement.cpp.o"
+  "CMakeFiles/mcsim_cluster.dir/placement.cpp.o.d"
+  "libmcsim_cluster.a"
+  "libmcsim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/mcsim_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/mcsim_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/policy_gs.cpp" "src/core/CMakeFiles/mcsim_core.dir/policy_gs.cpp.o" "gcc" "src/core/CMakeFiles/mcsim_core.dir/policy_gs.cpp.o.d"
+  "/root/repo/src/core/policy_lp.cpp" "src/core/CMakeFiles/mcsim_core.dir/policy_lp.cpp.o" "gcc" "src/core/CMakeFiles/mcsim_core.dir/policy_lp.cpp.o.d"
+  "/root/repo/src/core/policy_ls.cpp" "src/core/CMakeFiles/mcsim_core.dir/policy_ls.cpp.o" "gcc" "src/core/CMakeFiles/mcsim_core.dir/policy_ls.cpp.o.d"
+  "/root/repo/src/core/queue.cpp" "src/core/CMakeFiles/mcsim_core.dir/queue.cpp.o" "gcc" "src/core/CMakeFiles/mcsim_core.dir/queue.cpp.o.d"
+  "/root/repo/src/core/saturation.cpp" "src/core/CMakeFiles/mcsim_core.dir/saturation.cpp.o" "gcc" "src/core/CMakeFiles/mcsim_core.dir/saturation.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/mcsim_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/mcsim_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/scheduler_factory.cpp" "src/core/CMakeFiles/mcsim_core.dir/scheduler_factory.cpp.o" "gcc" "src/core/CMakeFiles/mcsim_core.dir/scheduler_factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mcsim_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_core.dir/engine.cpp.o"
+  "CMakeFiles/mcsim_core.dir/engine.cpp.o.d"
+  "CMakeFiles/mcsim_core.dir/policy_gs.cpp.o"
+  "CMakeFiles/mcsim_core.dir/policy_gs.cpp.o.d"
+  "CMakeFiles/mcsim_core.dir/policy_lp.cpp.o"
+  "CMakeFiles/mcsim_core.dir/policy_lp.cpp.o.d"
+  "CMakeFiles/mcsim_core.dir/policy_ls.cpp.o"
+  "CMakeFiles/mcsim_core.dir/policy_ls.cpp.o.d"
+  "CMakeFiles/mcsim_core.dir/queue.cpp.o"
+  "CMakeFiles/mcsim_core.dir/queue.cpp.o.d"
+  "CMakeFiles/mcsim_core.dir/saturation.cpp.o"
+  "CMakeFiles/mcsim_core.dir/saturation.cpp.o.d"
+  "CMakeFiles/mcsim_core.dir/scheduler.cpp.o"
+  "CMakeFiles/mcsim_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mcsim_core.dir/scheduler_factory.cpp.o"
+  "CMakeFiles/mcsim_core.dir/scheduler_factory.cpp.o.d"
+  "libmcsim_core.a"
+  "libmcsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/gnuplot.cpp" "src/exp/CMakeFiles/mcsim_exp.dir/gnuplot.cpp.o" "gcc" "src/exp/CMakeFiles/mcsim_exp.dir/gnuplot.cpp.o.d"
+  "/root/repo/src/exp/replications.cpp" "src/exp/CMakeFiles/mcsim_exp.dir/replications.cpp.o" "gcc" "src/exp/CMakeFiles/mcsim_exp.dir/replications.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/exp/CMakeFiles/mcsim_exp.dir/report.cpp.o" "gcc" "src/exp/CMakeFiles/mcsim_exp.dir/report.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "src/exp/CMakeFiles/mcsim_exp.dir/scenario.cpp.o" "gcc" "src/exp/CMakeFiles/mcsim_exp.dir/scenario.cpp.o.d"
+  "/root/repo/src/exp/sweep.cpp" "src/exp/CMakeFiles/mcsim_exp.dir/sweep.cpp.o" "gcc" "src/exp/CMakeFiles/mcsim_exp.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mcsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mcsim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

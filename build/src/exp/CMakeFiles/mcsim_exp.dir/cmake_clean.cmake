@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_exp.dir/gnuplot.cpp.o"
+  "CMakeFiles/mcsim_exp.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/mcsim_exp.dir/replications.cpp.o"
+  "CMakeFiles/mcsim_exp.dir/replications.cpp.o.d"
+  "CMakeFiles/mcsim_exp.dir/report.cpp.o"
+  "CMakeFiles/mcsim_exp.dir/report.cpp.o.d"
+  "CMakeFiles/mcsim_exp.dir/scenario.cpp.o"
+  "CMakeFiles/mcsim_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/mcsim_exp.dir/sweep.cpp.o"
+  "CMakeFiles/mcsim_exp.dir/sweep.cpp.o.d"
+  "libmcsim_exp.a"
+  "libmcsim_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorrelation.cpp" "src/stats/CMakeFiles/mcsim_stats.dir/autocorrelation.cpp.o" "gcc" "src/stats/CMakeFiles/mcsim_stats.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/stats/batch_means.cpp" "src/stats/CMakeFiles/mcsim_stats.dir/batch_means.cpp.o" "gcc" "src/stats/CMakeFiles/mcsim_stats.dir/batch_means.cpp.o.d"
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/mcsim_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/mcsim_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/mcsim_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/mcsim_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/percentile.cpp" "src/stats/CMakeFiles/mcsim_stats.dir/percentile.cpp.o" "gcc" "src/stats/CMakeFiles/mcsim_stats.dir/percentile.cpp.o.d"
+  "/root/repo/src/stats/queueing.cpp" "src/stats/CMakeFiles/mcsim_stats.dir/queueing.cpp.o" "gcc" "src/stats/CMakeFiles/mcsim_stats.dir/queueing.cpp.o.d"
+  "/root/repo/src/stats/time_weighted.cpp" "src/stats/CMakeFiles/mcsim_stats.dir/time_weighted.cpp.o" "gcc" "src/stats/CMakeFiles/mcsim_stats.dir/time_weighted.cpp.o.d"
+  "/root/repo/src/stats/utilization.cpp" "src/stats/CMakeFiles/mcsim_stats.dir/utilization.cpp.o" "gcc" "src/stats/CMakeFiles/mcsim_stats.dir/utilization.cpp.o.d"
+  "/root/repo/src/stats/warmup.cpp" "src/stats/CMakeFiles/mcsim_stats.dir/warmup.cpp.o" "gcc" "src/stats/CMakeFiles/mcsim_stats.dir/warmup.cpp.o.d"
+  "/root/repo/src/stats/welford.cpp" "src/stats/CMakeFiles/mcsim_stats.dir/welford.cpp.o" "gcc" "src/stats/CMakeFiles/mcsim_stats.dir/welford.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

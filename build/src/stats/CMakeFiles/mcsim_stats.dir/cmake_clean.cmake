@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_stats.dir/autocorrelation.cpp.o"
+  "CMakeFiles/mcsim_stats.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/mcsim_stats.dir/batch_means.cpp.o"
+  "CMakeFiles/mcsim_stats.dir/batch_means.cpp.o.d"
+  "CMakeFiles/mcsim_stats.dir/confidence.cpp.o"
+  "CMakeFiles/mcsim_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/mcsim_stats.dir/histogram.cpp.o"
+  "CMakeFiles/mcsim_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/mcsim_stats.dir/percentile.cpp.o"
+  "CMakeFiles/mcsim_stats.dir/percentile.cpp.o.d"
+  "CMakeFiles/mcsim_stats.dir/queueing.cpp.o"
+  "CMakeFiles/mcsim_stats.dir/queueing.cpp.o.d"
+  "CMakeFiles/mcsim_stats.dir/time_weighted.cpp.o"
+  "CMakeFiles/mcsim_stats.dir/time_weighted.cpp.o.d"
+  "CMakeFiles/mcsim_stats.dir/utilization.cpp.o"
+  "CMakeFiles/mcsim_stats.dir/utilization.cpp.o.d"
+  "CMakeFiles/mcsim_stats.dir/warmup.cpp.o"
+  "CMakeFiles/mcsim_stats.dir/warmup.cpp.o.d"
+  "CMakeFiles/mcsim_stats.dir/welford.cpp.o"
+  "CMakeFiles/mcsim_stats.dir/welford.cpp.o.d"
+  "libmcsim_stats.a"
+  "libmcsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

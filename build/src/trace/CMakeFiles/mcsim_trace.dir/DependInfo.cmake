@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/empirical.cpp" "src/trace/CMakeFiles/mcsim_trace.dir/empirical.cpp.o" "gcc" "src/trace/CMakeFiles/mcsim_trace.dir/empirical.cpp.o.d"
+  "/root/repo/src/trace/swf.cpp" "src/trace/CMakeFiles/mcsim_trace.dir/swf.cpp.o" "gcc" "src/trace/CMakeFiles/mcsim_trace.dir/swf.cpp.o.d"
+  "/root/repo/src/trace/synthetic_log.cpp" "src/trace/CMakeFiles/mcsim_trace.dir/synthetic_log.cpp.o" "gcc" "src/trace/CMakeFiles/mcsim_trace.dir/synthetic_log.cpp.o.d"
+  "/root/repo/src/trace/timeline.cpp" "src/trace/CMakeFiles/mcsim_trace.dir/timeline.cpp.o" "gcc" "src/trace/CMakeFiles/mcsim_trace.dir/timeline.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/mcsim_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/mcsim_trace.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcsim_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_trace.dir/empirical.cpp.o"
+  "CMakeFiles/mcsim_trace.dir/empirical.cpp.o.d"
+  "CMakeFiles/mcsim_trace.dir/swf.cpp.o"
+  "CMakeFiles/mcsim_trace.dir/swf.cpp.o.d"
+  "CMakeFiles/mcsim_trace.dir/synthetic_log.cpp.o"
+  "CMakeFiles/mcsim_trace.dir/synthetic_log.cpp.o.d"
+  "CMakeFiles/mcsim_trace.dir/timeline.cpp.o"
+  "CMakeFiles/mcsim_trace.dir/timeline.cpp.o.d"
+  "CMakeFiles/mcsim_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/mcsim_trace.dir/trace_stats.cpp.o.d"
+  "libmcsim_trace.a"
+  "libmcsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcsim_trace.a"
+)

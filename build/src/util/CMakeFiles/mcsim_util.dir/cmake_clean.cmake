@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_util.dir/cli.cpp.o"
+  "CMakeFiles/mcsim_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mcsim_util.dir/csv.cpp.o"
+  "CMakeFiles/mcsim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mcsim_util.dir/logging.cpp.o"
+  "CMakeFiles/mcsim_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mcsim_util.dir/rng.cpp.o"
+  "CMakeFiles/mcsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mcsim_util.dir/strings.cpp.o"
+  "CMakeFiles/mcsim_util.dir/strings.cpp.o.d"
+  "CMakeFiles/mcsim_util.dir/table.cpp.o"
+  "CMakeFiles/mcsim_util.dir/table.cpp.o.d"
+  "libmcsim_util.a"
+  "libmcsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

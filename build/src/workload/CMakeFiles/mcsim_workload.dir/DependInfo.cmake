@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cpp" "src/workload/CMakeFiles/mcsim_workload.dir/arrival.cpp.o" "gcc" "src/workload/CMakeFiles/mcsim_workload.dir/arrival.cpp.o.d"
+  "/root/repo/src/workload/das_workload.cpp" "src/workload/CMakeFiles/mcsim_workload.dir/das_workload.cpp.o" "gcc" "src/workload/CMakeFiles/mcsim_workload.dir/das_workload.cpp.o.d"
+  "/root/repo/src/workload/discrete.cpp" "src/workload/CMakeFiles/mcsim_workload.dir/discrete.cpp.o" "gcc" "src/workload/CMakeFiles/mcsim_workload.dir/discrete.cpp.o.d"
+  "/root/repo/src/workload/distributions.cpp" "src/workload/CMakeFiles/mcsim_workload.dir/distributions.cpp.o" "gcc" "src/workload/CMakeFiles/mcsim_workload.dir/distributions.cpp.o.d"
+  "/root/repo/src/workload/job_splitter.cpp" "src/workload/CMakeFiles/mcsim_workload.dir/job_splitter.cpp.o" "gcc" "src/workload/CMakeFiles/mcsim_workload.dir/job_splitter.cpp.o.d"
+  "/root/repo/src/workload/request.cpp" "src/workload/CMakeFiles/mcsim_workload.dir/request.cpp.o" "gcc" "src/workload/CMakeFiles/mcsim_workload.dir/request.cpp.o.d"
+  "/root/repo/src/workload/size_models.cpp" "src/workload/CMakeFiles/mcsim_workload.dir/size_models.cpp.o" "gcc" "src/workload/CMakeFiles/mcsim_workload.dir/size_models.cpp.o.d"
+  "/root/repo/src/workload/user_model.cpp" "src/workload/CMakeFiles/mcsim_workload.dir/user_model.cpp.o" "gcc" "src/workload/CMakeFiles/mcsim_workload.dir/user_model.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/mcsim_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/mcsim_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mcsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_workload.dir/arrival.cpp.o"
+  "CMakeFiles/mcsim_workload.dir/arrival.cpp.o.d"
+  "CMakeFiles/mcsim_workload.dir/das_workload.cpp.o"
+  "CMakeFiles/mcsim_workload.dir/das_workload.cpp.o.d"
+  "CMakeFiles/mcsim_workload.dir/discrete.cpp.o"
+  "CMakeFiles/mcsim_workload.dir/discrete.cpp.o.d"
+  "CMakeFiles/mcsim_workload.dir/distributions.cpp.o"
+  "CMakeFiles/mcsim_workload.dir/distributions.cpp.o.d"
+  "CMakeFiles/mcsim_workload.dir/job_splitter.cpp.o"
+  "CMakeFiles/mcsim_workload.dir/job_splitter.cpp.o.d"
+  "CMakeFiles/mcsim_workload.dir/request.cpp.o"
+  "CMakeFiles/mcsim_workload.dir/request.cpp.o.d"
+  "CMakeFiles/mcsim_workload.dir/size_models.cpp.o"
+  "CMakeFiles/mcsim_workload.dir/size_models.cpp.o.d"
+  "CMakeFiles/mcsim_workload.dir/user_model.cpp.o"
+  "CMakeFiles/mcsim_workload.dir/user_model.cpp.o.d"
+  "CMakeFiles/mcsim_workload.dir/workload.cpp.o"
+  "CMakeFiles/mcsim_workload.dir/workload.cpp.o.d"
+  "libmcsim_workload.a"
+  "libmcsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_backfill_test.dir/core_backfill_test.cpp.o"
+  "CMakeFiles/core_backfill_test.dir/core_backfill_test.cpp.o.d"
+  "core_backfill_test"
+  "core_backfill_test.pdb"
+  "core_backfill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_backfill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

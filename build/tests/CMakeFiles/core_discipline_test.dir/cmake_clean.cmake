@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_discipline_test.dir/core_discipline_test.cpp.o"
+  "CMakeFiles/core_discipline_test.dir/core_discipline_test.cpp.o.d"
+  "core_discipline_test"
+  "core_discipline_test.pdb"
+  "core_discipline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_discipline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_heterogeneous_test.dir/core_heterogeneous_test.cpp.o"
+  "CMakeFiles/core_heterogeneous_test.dir/core_heterogeneous_test.cpp.o.d"
+  "core_heterogeneous_test"
+  "core_heterogeneous_test.pdb"
+  "core_heterogeneous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_heterogeneous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_queue_test.dir/core_queue_test.cpp.o"
+  "CMakeFiles/core_queue_test.dir/core_queue_test.cpp.o.d"
+  "core_queue_test"
+  "core_queue_test.pdb"
+  "core_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

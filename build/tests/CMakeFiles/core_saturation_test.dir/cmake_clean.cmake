@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_saturation_test.dir/core_saturation_test.cpp.o"
+  "CMakeFiles/core_saturation_test.dir/core_saturation_test.cpp.o.d"
+  "core_saturation_test"
+  "core_saturation_test.pdb"
+  "core_saturation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_saturation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

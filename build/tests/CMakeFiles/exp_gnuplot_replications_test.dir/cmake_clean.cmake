@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_gnuplot_replications_test.dir/exp_gnuplot_replications_test.cpp.o"
+  "CMakeFiles/exp_gnuplot_replications_test.dir/exp_gnuplot_replications_test.cpp.o.d"
+  "exp_gnuplot_replications_test"
+  "exp_gnuplot_replications_test.pdb"
+  "exp_gnuplot_replications_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_gnuplot_replications_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

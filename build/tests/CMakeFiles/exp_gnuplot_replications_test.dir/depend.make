@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_gnuplot_replications_test.
+# This may be replaced when dependencies are built.

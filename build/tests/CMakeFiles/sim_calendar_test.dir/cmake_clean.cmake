@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_calendar_test.dir/sim_calendar_test.cpp.o"
+  "CMakeFiles/sim_calendar_test.dir/sim_calendar_test.cpp.o.d"
+  "sim_calendar_test"
+  "sim_calendar_test.pdb"
+  "sim_calendar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_calendar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_autocorrelation_test.dir/stats_autocorrelation_test.cpp.o"
+  "CMakeFiles/stats_autocorrelation_test.dir/stats_autocorrelation_test.cpp.o.d"
+  "stats_autocorrelation_test"
+  "stats_autocorrelation_test.pdb"
+  "stats_autocorrelation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_autocorrelation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

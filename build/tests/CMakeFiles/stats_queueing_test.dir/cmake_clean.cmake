@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_queueing_test.dir/stats_queueing_test.cpp.o"
+  "CMakeFiles/stats_queueing_test.dir/stats_queueing_test.cpp.o.d"
+  "stats_queueing_test"
+  "stats_queueing_test.pdb"
+  "stats_queueing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_queueing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

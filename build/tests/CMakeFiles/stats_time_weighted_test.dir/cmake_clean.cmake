@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_time_weighted_test.dir/stats_time_weighted_test.cpp.o"
+  "CMakeFiles/stats_time_weighted_test.dir/stats_time_weighted_test.cpp.o.d"
+  "stats_time_weighted_test"
+  "stats_time_weighted_test.pdb"
+  "stats_time_weighted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_time_weighted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_warmup_utilization_test.dir/stats_warmup_utilization_test.cpp.o"
+  "CMakeFiles/stats_warmup_utilization_test.dir/stats_warmup_utilization_test.cpp.o.d"
+  "stats_warmup_utilization_test"
+  "stats_warmup_utilization_test.pdb"
+  "stats_warmup_utilization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_warmup_utilization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

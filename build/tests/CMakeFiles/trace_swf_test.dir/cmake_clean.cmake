@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_swf_test.dir/trace_swf_test.cpp.o"
+  "CMakeFiles/trace_swf_test.dir/trace_swf_test.cpp.o.d"
+  "trace_swf_test"
+  "trace_swf_test.pdb"
+  "trace_swf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_swf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_synthetic_log_test.dir/trace_synthetic_log_test.cpp.o"
+  "CMakeFiles/trace_synthetic_log_test.dir/trace_synthetic_log_test.cpp.o.d"
+  "trace_synthetic_log_test"
+  "trace_synthetic_log_test.pdb"
+  "trace_synthetic_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_synthetic_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

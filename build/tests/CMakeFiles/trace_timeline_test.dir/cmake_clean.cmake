@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_timeline_test.dir/trace_timeline_test.cpp.o"
+  "CMakeFiles/trace_timeline_test.dir/trace_timeline_test.cpp.o.d"
+  "trace_timeline_test"
+  "trace_timeline_test.pdb"
+  "trace_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_discrete_test.dir/workload_discrete_test.cpp.o"
+  "CMakeFiles/workload_discrete_test.dir/workload_discrete_test.cpp.o.d"
+  "workload_discrete_test"
+  "workload_discrete_test.pdb"
+  "workload_discrete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_discrete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

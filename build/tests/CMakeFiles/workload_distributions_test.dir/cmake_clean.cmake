@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_distributions_test.dir/workload_distributions_test.cpp.o"
+  "CMakeFiles/workload_distributions_test.dir/workload_distributions_test.cpp.o.d"
+  "workload_distributions_test"
+  "workload_distributions_test.pdb"
+  "workload_distributions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_piecewise_test.dir/workload_piecewise_test.cpp.o"
+  "CMakeFiles/workload_piecewise_test.dir/workload_piecewise_test.cpp.o.d"
+  "workload_piecewise_test"
+  "workload_piecewise_test.pdb"
+  "workload_piecewise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_piecewise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_request_test.dir/workload_request_test.cpp.o"
+  "CMakeFiles/workload_request_test.dir/workload_request_test.cpp.o.d"
+  "workload_request_test"
+  "workload_request_test.pdb"
+  "workload_request_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_request_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_size_models_test.dir/workload_size_models_test.cpp.o"
+  "CMakeFiles/workload_size_models_test.dir/workload_size_models_test.cpp.o.d"
+  "workload_size_models_test"
+  "workload_size_models_test.pdb"
+  "workload_size_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_size_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

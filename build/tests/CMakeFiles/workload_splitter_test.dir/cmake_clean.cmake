@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_splitter_test.dir/workload_splitter_test.cpp.o"
+  "CMakeFiles/workload_splitter_test.dir/workload_splitter_test.cpp.o.d"
+  "workload_splitter_test"
+  "workload_splitter_test.pdb"
+  "workload_splitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_splitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
