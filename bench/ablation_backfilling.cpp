@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     scenario.policy = policy;
     scenario.component_limit = 16;
     scenario.limit_total_size_64 = das64;
-    auto config = make_paper_config(scenario, rho, options->jobs, options->seed);
+    auto config = make_paper_config(scenario, rho, options->sim_jobs, options->seed);
     config.backfill = mode;
     return run_simulation(config);
   };

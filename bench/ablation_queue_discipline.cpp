@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   auto run_point = [&](QueueDiscipline discipline, double rho) {
     PaperScenario scenario;
     scenario.policy = PolicyKind::kSC;
-    auto config = make_paper_config(scenario, rho, options->jobs, options->seed);
+    auto config = make_paper_config(scenario, rho, options->sim_jobs, options->seed);
     config.discipline = discipline;
     return run_simulation(config);
   };

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     config.workload.extension_factor = das::kExtensionFactor;
     config.workload.request_type = type;
     config.workload.arrival_rate = config.workload.rate_for_gross_utilization(rho, 128);
-    config.total_jobs = options->jobs;
+    config.total_jobs = options->sim_jobs;
     config.seed = options->seed;
     return run_simulation(config);
   };

@@ -1,7 +1,9 @@
 // Shared wiring for the figure/table reproduction harnesses.
 //
 // Every harness accepts:
-//   --jobs=N     simulated jobs per sweep point (default 20000; the env var
+//   --jobs=N     parallel simulation runs (default: all hardware threads);
+//                results are bit-identical for every N
+//   --sim-jobs=N simulated jobs per sweep point (default 20000; the env var
 //                MCSIM_BENCH_JOBS overrides the default for the whole suite)
 //   --seed=S     master seed (default 20030622 — HPDC'03's opening day)
 //   --csv=PATH   also write every point to a CSV file
@@ -18,6 +20,7 @@
 
 #include "exp/gnuplot.hpp"
 #include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
 #include "util/cli.hpp"
@@ -26,22 +29,27 @@
 namespace mcsim::bench {
 
 struct BenchOptions {
-  std::uint64_t jobs = 20000;
+  std::uint64_t sim_jobs = 20000;
   std::uint64_t seed = 20030622;
   std::string csv_path;
   std::string gnuplot_dir;
+  /// Parallel simulation runs (Runner workers); 0 = all hardware threads.
+  unsigned jobs = 0;
   bool quick = false;
 };
 
 inline std::optional<BenchOptions> parse_bench_options(
     int argc, const char* const* argv, const std::string& description) {
   CliParser parser(description);
-  std::uint64_t default_jobs = 20000;
+  std::uint64_t default_sim_jobs = 20000;
   if (const char* env = std::getenv("MCSIM_BENCH_JOBS"); env != nullptr) {
-    default_jobs = std::strtoull(env, nullptr, 10);
-    if (default_jobs == 0) default_jobs = 20000;
+    default_sim_jobs = std::strtoull(env, nullptr, 10);
+    if (default_sim_jobs == 0) default_sim_jobs = 20000;
   }
-  parser.add_option("jobs", std::to_string(default_jobs), "simulated jobs per sweep point");
+  parser.add_option("jobs", std::to_string(exp::Runner::default_jobs()),
+                    "parallel simulation runs (worker threads)");
+  parser.add_option("sim-jobs", std::to_string(default_sim_jobs),
+                    "simulated jobs per sweep point");
   parser.add_option("seed", "20030622", "master random seed");
   parser.add_option("csv", "", "also write results to this CSV file");
   parser.add_option("gnuplot", "", "also write .dat/.gp files to this directory");
@@ -51,12 +59,14 @@ inline std::optional<BenchOptions> parse_bench_options(
   set_log_level(parse_log_level(parser.get("log")));
 
   BenchOptions options;
-  options.jobs = parser.get_uint("jobs");
+  options.jobs = static_cast<unsigned>(parser.get_uint("jobs"));
+  if (options.jobs == 0) options.jobs = exp::Runner::default_jobs();
+  options.sim_jobs = parser.get_uint("sim-jobs");
   options.seed = parser.get_uint("seed");
   options.csv_path = parser.get("csv");
   options.gnuplot_dir = parser.get("gnuplot");
   options.quick = parser.get_flag("quick");
-  if (options.quick) options.jobs = std::max<std::uint64_t>(2000, options.jobs / 4);
+  if (options.quick) options.sim_jobs = std::max<std::uint64_t>(2000, options.sim_jobs / 4);
   return options;
 }
 
@@ -66,8 +76,9 @@ inline std::vector<double> figure_grid() { return SweepConfig::grid(0.30, 0.80, 
 inline SweepConfig sweep_config(const BenchOptions& options) {
   SweepConfig config;
   config.target_utilizations = figure_grid();
-  config.jobs_per_point = options.jobs;
+  config.jobs_per_point = options.sim_jobs;
   config.seed = options.seed;
+  config.parallelism = options.jobs;
   return config;
 }
 

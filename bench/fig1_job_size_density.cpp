@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   if (!options) return 0;
 
   SyntheticLogConfig config;
-  config.num_jobs = std::max<std::uint64_t>(options->jobs, 10000);
+  config.num_jobs = std::max<std::uint64_t>(options->sim_jobs, 10000);
   config.seed = options->seed;
   const SwfTrace trace = generate_synthetic_das1_log(config);
   const auto summary = summarize_trace(trace.records);

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
       lp.balanced_queues = balanced;
       SweepConfig coarse;
       coarse.target_utilizations = SweepConfig::grid(0.30, 0.80, 0.05);
-      coarse.jobs_per_point = options->jobs / 2 + 1000;
+      coarse.jobs_per_point = options->sim_jobs / 2 + 1000;
       coarse.seed = options->seed;
       const double lp_max = run_sweep(lp, coarse).max_stable_utilization();
       const double rho = lp_max > 0.0 ? lp_max : 0.30;
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
         scenario.balanced_queues =
             balanced || policy == PolicyKind::kSC || policy == PolicyKind::kGS;
         const auto result =
-            run_simulation(make_paper_config(scenario, rho, options->jobs, options->seed));
+            run_simulation(make_paper_config(scenario, rho, options->sim_jobs, options->seed));
         auto cell = [&](const RunningStats& stats) {
           return stats.count() ? format_double(stats.mean(), 0) : std::string("-");
         };

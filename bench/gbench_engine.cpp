@@ -43,6 +43,29 @@ void BM_CalendarHold(benchmark::State& state) {
 }
 BENCHMARK(BM_CalendarHold);
 
+void BM_CalendarCancelHeavy(benchmark::State& state) {
+  // The engine's real pop path: jobs schedule cancellable events (departure
+  // guards, backfill reservations) and many get cancelled before they fire.
+  // Each iteration pops one event, pushes two and cancels one of them, so
+  // half of all heap entries are stale and both the cancel path and the
+  // liveness check on pop are exercised; the calendar stays at 1024 live.
+  Rng rng(7);
+  Calendar cal;
+  for (int i = 0; i < 1024; ++i) cal.push(rng.uniform(0.0, 1000.0));
+  double now = 0.0;
+  std::uint64_t cursor = 0;
+  for (auto _ : state) {
+    const auto entry = cal.pop();
+    now = entry.time;
+    const EventId a = cal.push(now + rng.uniform(0.0, 1000.0));
+    const EventId b = cal.push(now + rng.uniform(0.0, 1000.0));
+    cal.cancel((cursor & 1) != 0 ? a : b);
+    ++cursor;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CalendarCancelHeavy);
+
 void BM_Placement(benchmark::State& state) {
   const auto rule = static_cast<PlacementRule>(state.range(0));
   Rng rng(3);

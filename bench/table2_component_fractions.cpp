@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   // Sampled cross-check.
   TextTable sampled({"limit", "1 comp", "2 comps", "3 comps", "4 comps"});
   Rng rng(options->seed);
-  const std::uint64_t samples = std::max<std::uint64_t>(options->jobs, 50000);
+  const std::uint64_t samples = std::max<std::uint64_t>(options->sim_jobs, 50000);
   for (std::uint32_t limit : das::kComponentLimits) {
     std::array<std::uint64_t, 4> counts{};
     Rng local = rng;  // same draws for every limit

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const auto options = bench::parse_bench_options(
       argc, argv, "Table 3: maximal gross and net utilizations (constant backlog)");
   if (!options) return 0;
-  const std::uint64_t completions = std::max<std::uint64_t>(options->jobs, 20000);
+  const std::uint64_t completions = std::max<std::uint64_t>(options->sim_jobs, 20000);
 
   std::cout << "== Table 3: maximal utilizations, constant-backlog method ==\n\n";
   TextTable table({"policy", "limit", "max gross util", "max net util", "gross/net"});

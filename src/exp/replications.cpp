@@ -1,5 +1,6 @@
 #include "exp/replications.hpp"
 
+#include "exp/runner.hpp"
 #include "stats/welford.hpp"
 #include "util/assert.hpp"
 
@@ -8,15 +9,22 @@ namespace mcsim {
 ReplicationResult run_replications(const PaperScenario& scenario,
                                    double target_gross_utilization,
                                    std::uint64_t jobs_per_replication,
-                                   std::uint32_t replications, std::uint64_t base_seed) {
+                                   std::uint32_t replications, std::uint64_t base_seed,
+                                   unsigned parallelism) {
   MCSIM_REQUIRE(replications > 0, "need at least one replication");
+  exp::Runner runner(parallelism);
+  const auto runs = runner.map(replications, [&](std::size_t r) {
+    return run_simulation(make_paper_config(scenario, target_gross_utilization,
+                                            jobs_per_replication,
+                                            base_seed + static_cast<std::uint64_t>(r)));
+  });
+
+  // Fold in replication order so the accumulated statistics (and their
+  // floating-point rounding) are independent of completion order.
   ReplicationResult result;
   RunningStats means;
   RunningStats busy;
-  for (std::uint32_t r = 0; r < replications; ++r) {
-    const auto config = make_paper_config(scenario, target_gross_utilization,
-                                          jobs_per_replication, base_seed + r);
-    const auto run = run_simulation(config);
+  for (const auto& run : runs) {
     if (run.unstable) {
       ++result.unstable_replications;
       continue;

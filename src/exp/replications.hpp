@@ -28,11 +28,16 @@ struct ReplicationResult {
   }
 };
 
-/// Run `replications` independent runs (seeds base_seed, base_seed+1, ...).
+/// Run `replications` independent runs (seeds base_seed, base_seed+1, ...),
+/// fanned out over `parallelism` worker threads (1 = serial, 0 = all
+/// hardware threads). Results are bit-identical for every parallelism level:
+/// each replication is fully determined by its seed and the per-replication
+/// statistics are always folded together in replication order.
 ReplicationResult run_replications(const PaperScenario& scenario,
                                    double target_gross_utilization,
                                    std::uint64_t jobs_per_replication,
                                    std::uint32_t replications,
-                                   std::uint64_t base_seed = 1);
+                                   std::uint64_t base_seed = 1,
+                                   unsigned parallelism = 1);
 
 }  // namespace mcsim

@@ -1,0 +1,118 @@
+#include "exp/runner.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace mcsim::exp {
+
+// Workers live for the Runner's lifetime. All batch state sits behind one
+// mutex and workers claim one index per lock acquisition; a task here is an
+// entire simulation run (milliseconds at the least), so dispatch cost is
+// noise and the fully-locked design is trivially data-race-free. run()
+// cannot return before every in-flight task has reported back (finished ==
+// count requires each claimant's increment, taken under the lock), so the
+// borrowed `task` pointer never dangles.
+struct Runner::Impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+  std::vector<std::thread> workers;
+
+  // Current batch; null task means idle. All guarded by mutex.
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::size_t count = 0;
+  std::size_t next_index = 0;
+  std::size_t finished = 0;
+  bool shutting_down = false;
+
+  // First failure by task order: parallel batches may hit several.
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      work_ready.wait(lock, [&] {
+        return shutting_down || (task != nullptr && next_index < count);
+      });
+      if (task == nullptr || next_index >= count) {
+        if (shutting_down) return;
+        continue;
+      }
+      const std::size_t i = next_index++;
+      const auto* batch_task = task;
+      lock.unlock();
+      std::exception_ptr failure;
+      try {
+        (*batch_task)(i);
+      } catch (...) {
+        failure = std::current_exception();
+      }
+      lock.lock();
+      if (failure && i < error_index) {
+        error_index = i;
+        error = failure;
+      }
+      if (++finished == count) batch_done.notify_all();
+    }
+  }
+};
+
+Runner::Runner(unsigned jobs) : impl_(nullptr), jobs_(jobs == 0 ? default_jobs() : jobs) {
+  if (jobs_ == 1) return;  // inline runner: no threads at all
+  impl_ = new Impl;
+  impl_->workers.reserve(jobs_);
+  for (unsigned i = 0; i < jobs_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+Runner::~Runner() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutting_down = true;
+  }
+  impl_->work_ready.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+unsigned Runner::jobs() const { return jobs_; }
+
+unsigned Runner::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void Runner::run(std::size_t count, const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (impl_ == nullptr) {  // serial path: identical to the historical loops
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  MCSIM_REQUIRE(impl_->task == nullptr, "Runner::run is not reentrant");
+  impl_->task = &task;
+  impl_->count = count;
+  impl_->next_index = 0;
+  impl_->finished = 0;
+  impl_->error_index = std::numeric_limits<std::size_t>::max();
+  impl_->error = nullptr;
+  impl_->work_ready.notify_all();
+  impl_->batch_done.wait(lock, [&] { return impl_->finished == impl_->count; });
+  impl_->task = nullptr;
+  if (impl_->error) {
+    std::exception_ptr error = impl_->error;
+    impl_->error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace mcsim::exp

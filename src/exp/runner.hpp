@@ -1,0 +1,66 @@
+// Parallel experiment runner: a reusable thread pool for fanning independent
+// simulation runs out over the machine's cores.
+//
+// Every figure and table in the paper is a collection of *independent*
+// steady-state runs (sweep points, replications), each fully determined by
+// its SimulationConfig — including its own master seed, from which all RNG
+// substreams are derived. Executing them concurrently therefore cannot
+// change any result as long as (a) no run shares mutable state with another
+// and (b) results are committed in task-index order. Runner guarantees (b)
+// by having every task write to its own pre-sized slot; (a) is a property of
+// the engine, locked in by the determinism tests (exp_runner_test.cpp).
+//
+// Usage:
+//   exp::Runner runner(jobs);            // jobs==0 -> all hardware threads
+//   auto results = runner.map(n, [&](std::size_t i) { return run(i); });
+//
+// With jobs == 1 no threads are ever created and tasks execute inline on the
+// calling thread, byte-for-byte reproducing the historical serial loops.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mcsim::exp {
+
+class Runner {
+ public:
+  /// A pool with `jobs` worker threads; 0 means default_jobs().
+  explicit Runner(unsigned jobs = 0);
+  ~Runner();
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Worker count this pool executes with (>= 1).
+  [[nodiscard]] unsigned jobs() const;
+
+  /// Hardware concurrency, clamped to at least 1.
+  static unsigned default_jobs();
+
+  /// Execute task(0) .. task(count-1), each exactly once, concurrently on
+  /// the pool. Blocks until all tasks finish. If any task throws, the first
+  /// exception (in task order) is rethrown here after the batch drains.
+  /// Not reentrant: do not call run()/map() from inside a task.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+  /// run() that collects return values in task-index order.
+  template <typename Fn>
+  auto map(std::size_t count, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
+    using Result = std::decay_t<decltype(fn(std::size_t{}))>;
+    std::vector<Result> results(count);
+    run(count, [&results, &fn](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+ private:
+  struct Impl;
+  Impl* impl_;  // nullptr for the inline (jobs == 1) runner
+  unsigned jobs_;
+};
+
+}  // namespace mcsim::exp

@@ -1,13 +1,23 @@
 #include "exp/sweep.hpp"
 
+#include "exp/runner.hpp"
+#include "util/assert.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace mcsim {
 
 std::vector<double> SweepConfig::grid(double lo, double hi, double step) {
+  // Generate by index: `u += step` accumulation drifts by ~n*eps*|u| and can
+  // skip or duplicate the endpoint on fine grids (e.g. 100.0..100.5 by
+  // 0.001). One multiply per point keeps the error at a single rounding.
+  MCSIM_REQUIRE(step > 0.0, "grid step must be positive");
   std::vector<double> points;
-  for (double u = lo; u <= hi + step * 1e-9; u += step) points.push_back(u);
+  for (std::size_t i = 0;; ++i) {
+    const double u = lo + static_cast<double>(i) * step;
+    if (u > hi + step * 0.5) break;
+    points.push_back(u);
+  }
   return points;
 }
 
@@ -21,22 +31,53 @@ double SweepSeries::max_stable_utilization() const {
   return best;
 }
 
+namespace {
+
+void log_point(const PaperScenario& scenario, double util, const SimulationResult& result) {
+  MCSIM_LOG(kInfo) << scenario.label() << " @ rho=" << format_util(util)
+                   << (result.unstable
+                           ? " UNSTABLE"
+                           : " mean response " + format_double(result.mean_response(), 1));
+}
+
+}  // namespace
+
 SweepSeries run_sweep(const PaperScenario& scenario, const SweepConfig& config) {
   SweepSeries series;
   series.scenario = scenario;
-  for (double util : config.target_utilizations) {
-    SimulationConfig sim_config =
-        make_paper_config(scenario, util, config.jobs_per_point, config.seed);
+  const auto& grid = config.target_utilizations;
+  const auto run_point = [&](std::size_t i) {
+    return run_simulation(
+        make_paper_config(scenario, grid[i], config.jobs_per_point, config.seed));
+  };
+
+  if (config.parallelism == 1) {
+    // Serial early-stop loop: never simulates beyond the first unstable point.
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      SweepPoint point;
+      point.target_gross_utilization = grid[i];
+      point.result = run_point(i);
+      log_point(scenario, grid[i], point.result);
+      const bool unstable = point.result.unstable;
+      series.points.push_back(std::move(point));
+      if (unstable) break;  // all higher loads are unstable too
+    }
+    return series;
+  }
+
+  // Speculative parallel sweep: run every grid point concurrently, then keep
+  // the same prefix the serial loop would have produced. Each point depends
+  // only on its own config, so the kept points are bit-identical.
+  exp::Runner runner(config.parallelism);
+  auto results = runner.map(grid.size(), run_point);
+  for (std::size_t i = 0; i < results.size(); ++i) {
     SweepPoint point;
-    point.target_gross_utilization = util;
-    point.result = run_simulation(sim_config);
-    MCSIM_LOG(kInfo) << scenario.label() << " @ rho=" << format_util(util)
-                     << (point.result.unstable
-                             ? " UNSTABLE"
-                             : " mean response " + format_double(point.result.mean_response(), 1));
+    point.target_gross_utilization = grid[i];
+    point.result = std::move(results[i]);
+    log_point(scenario, grid[i], point.result);
     const bool unstable = point.result.unstable;
     series.points.push_back(std::move(point));
-    if (unstable) break;  // all higher loads are unstable too
+    if (unstable) break;
   }
   return series;
 }

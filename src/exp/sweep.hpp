@@ -3,6 +3,12 @@
 // steady-state run is made; the sweep stops early once a point is unstable
 // (every higher point would be too), which is how the curves' vertical
 // asymptotes — the maximal utilizations — appear.
+//
+// With parallelism > 1 all grid points are run speculatively in parallel and
+// the series is truncated after the first unstable point; because every
+// point is an independent run keyed only by (scenario, utilization, seed),
+// the surviving prefix is bit-identical to what the serial early-stop loop
+// produces — the speculation only costs throwaway work beyond the knee.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,9 @@ struct SweepConfig {
   std::vector<double> target_utilizations;
   std::uint64_t jobs_per_point = 30000;
   std::uint64_t seed = 1;
+  /// Worker threads for the sweep (1 = serial early-stop loop, 0 = all
+  /// hardware threads, N > 1 = speculative parallel execution).
+  unsigned parallelism = 1;
 
   /// Grid from `lo` to `hi` in steps of `step` (inclusive, fp-safe).
   static std::vector<double> grid(double lo, double hi, double step);

@@ -8,6 +8,7 @@ namespace mcsim {
 
 EventId Calendar::push(double time) {
   const EventId id = next_id_++;
+  if ((id >> 6) >= resolved_.size()) resolved_.push_back(0);
   heap_push(Entry{time, next_seq_++, id});
   ++live_count_;
   return id;
@@ -15,27 +16,26 @@ EventId Calendar::push(double time) {
 
 bool Calendar::cancel(EventId id) {
   if (id == kNoEvent || id >= next_id_) return false;
-  if (cancelled_.count(id)) return false;
-  // We cannot cheaply verify the id is still in the heap; callers only hold
-  // ids of pending events, and pop() erases fired ids from scope by
-  // returning them, so a double-cancel is the only misuse — guarded above.
-  cancelled_.insert(id);
-  if (live_count_ == 0) return false;
+  if (resolved(id)) return false;  // already fired or already cancelled
+  mark_resolved(id);
+  ++stale_count_;  // its heap entry stays buried until it surfaces
+  MCSIM_ASSERT(live_count_ > 0);
   --live_count_;
   return true;
 }
 
 double Calendar::next_time() {
-  skip_cancelled();
+  skip_resolved();
   MCSIM_REQUIRE(!heap_.empty(), "calendar is empty");
   return heap_.front().time;
 }
 
 Calendar::Entry Calendar::pop() {
-  skip_cancelled();
+  skip_resolved();
   MCSIM_REQUIRE(!heap_.empty(), "calendar is empty");
   Entry top = heap_.front();
   heap_pop();
+  mark_resolved(top.id);
   MCSIM_ASSERT(live_count_ > 0);
   --live_count_;
   return top;
@@ -43,8 +43,15 @@ Calendar::Entry Calendar::pop() {
 
 void Calendar::clear() {
   heap_.clear();
-  cancelled_.clear();
+  // Ids issued before the clear must stay dead: resolve them all. Bits for
+  // ids not yet issued must stay clear or the next push is born resolved.
+  std::fill(resolved_.begin(), resolved_.end(), ~std::uint64_t{0});
+  const std::size_t word = next_id_ >> 6;
+  if (word < resolved_.size()) {
+    resolved_[word] &= (std::uint64_t{1} << (next_id_ & 63)) - 1;
+  }
   live_count_ = 0;
+  stale_count_ = 0;
 }
 
 void Calendar::heap_push(Entry entry) {
@@ -76,12 +83,11 @@ void Calendar::heap_pop() {
   }
 }
 
-void Calendar::skip_cancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+void Calendar::skip_resolved() {
+  if (stale_count_ == 0) return;  // nothing was cancelled: the front is live
+  while (!heap_.empty() && resolved(heap_.front().id)) {
     heap_pop();
+    --stale_count_;
   }
 }
 

@@ -5,7 +5,28 @@
 
 #include "util/assert.hpp"
 
+#if defined(__GLIBC__)
+extern "C" double lgamma_r(double, int*);  // not declared under strict -std=c++20
+#endif
+
 namespace mcsim {
+
+namespace {
+
+// std::lgamma writes the global `signgam` on glibc and is therefore not
+// thread-safe; parallel replication runs race on it (caught by TSan). The
+// _r variant is the same implementation minus the global write, so results
+// stay bit-identical with serial code that used std::lgamma.
+double log_gamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
 
 double normal_quantile(double p) {
   MCSIM_REQUIRE(p > 0.0 && p < 1.0, "normal_quantile needs p in (0,1)");
@@ -81,7 +102,7 @@ double betacf(double a, double b, double x) {
 double incbeta(double a, double b, double x) {
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
-  const double ln_bt = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+  const double ln_bt = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
                        a * std::log(x) + b * std::log(1.0 - x);
   const double bt = std::exp(ln_bt);
   if (x < (a + 1.0) / (a + b + 2.0)) return bt * betacf(a, b, x) / a;

@@ -83,6 +83,62 @@ TEST(Calendar, ClearEmptiesEverything) {
   EXPECT_EQ(cal.size(), 0u);
 }
 
+TEST(Calendar, CancelAfterPopFails) {
+  Calendar cal;
+  const EventId a = cal.push(1.0);
+  cal.push(2.0);
+  EXPECT_EQ(cal.pop().id, a);
+  // The id already fired: cancelling it must fail and must not disturb the
+  // remaining live event.
+  EXPECT_FALSE(cal.cancel(a));
+  EXPECT_EQ(cal.size(), 1u);
+  EXPECT_DOUBLE_EQ(cal.pop().time, 2.0);
+}
+
+TEST(Calendar, StaleIdCannotCancelRecycledSlot) {
+  Calendar cal;
+  const EventId old_id = cal.push(1.0);
+  cal.pop();
+  // The slot is recycled by the next push, but under a new generation: the
+  // stale id must not cancel the new event.
+  const EventId new_id = cal.push(3.0);
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(cal.cancel(old_id));
+  EXPECT_EQ(cal.size(), 1u);
+  EXPECT_TRUE(cal.cancel(new_id));
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(Calendar, IdsFromBeforeClearStayDead) {
+  Calendar cal;
+  const EventId a = cal.push(1.0);
+  const EventId b = cal.push(2.0);
+  cal.clear();
+  const EventId c = cal.push(5.0);
+  EXPECT_FALSE(cal.cancel(a));
+  EXPECT_FALSE(cal.cancel(b));
+  EXPECT_EQ(cal.size(), 1u);
+  EXPECT_EQ(cal.pop().id, c);
+}
+
+TEST(Calendar, CancelledEntriesDoNotResurfaceAfterSlotReuse) {
+  Calendar cal;
+  // Cancel an event whose stale heap entry is still buried, then reuse its
+  // slot for a later event: the buried entry must be skipped, the new one
+  // must fire.
+  cal.push(1.0);
+  const EventId cancelled = cal.push(2.0);
+  cal.push(4.0);
+  EXPECT_TRUE(cal.cancel(cancelled));
+  const EventId reused = cal.push(3.0);
+  EXPECT_DOUBLE_EQ(cal.pop().time, 1.0);
+  const auto next = cal.pop();
+  EXPECT_DOUBLE_EQ(next.time, 3.0);
+  EXPECT_EQ(next.id, reused);
+  EXPECT_DOUBLE_EQ(cal.pop().time, 4.0);
+  EXPECT_TRUE(cal.empty());
+}
+
 TEST(Calendar, StressRandomOrderIsSorted) {
   Calendar cal;
   Rng rng(101);

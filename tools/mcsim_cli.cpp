@@ -11,15 +11,21 @@
 // Examples:
 //   mcsim point --policy=LS --utilization=0.55 --limit=16
 //   mcsim sweep --policy=SC --from=0.3 --to=0.8 --step=0.05 --gnuplot=out/
+//   mcsim sweep --policy=LS --jobs=8          # 8 parallel runs, same output
 //   mcsim saturation --policy=GS --limit=24
 //   mcsim trace-gen --jobs=30000 --out=das1.swf --sessions
 //   mcsim trace-stats das1.swf
+//
+// sweep and replications fan their independent runs out over --jobs worker
+// threads (default: all hardware threads); results are bit-identical to a
+// serial run for every --jobs value.
 #include <iostream>
 
 #include "core/saturation.hpp"
 #include "exp/gnuplot.hpp"
 #include "exp/replications.hpp"
 #include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "exp/sweep.hpp"
 #include "trace/swf.hpp"
 #include "trace/synthetic_log.hpp"
@@ -57,12 +63,12 @@ int cmd_point(int argc, const char* const* argv) {
   CliParser parser("mcsim point: one simulation at a target gross utilization");
   add_scenario_options(parser);
   parser.add_option("utilization", "0.5", "target gross utilization");
-  parser.add_option("jobs", "30000", "simulated jobs");
+  parser.add_option("sim-jobs", "30000", "simulated jobs");
   if (!parser.parse(argc, argv)) return 0;
 
   const auto scenario = scenario_from(parser);
   const auto result = run_simulation(make_paper_config(
-      scenario, parser.get_double("utilization"), parser.get_uint("jobs"),
+      scenario, parser.get_double("utilization"), parser.get_uint("sim-jobs"),
       parser.get_uint("seed")));
 
   TextTable table({"metric", "value"});
@@ -95,15 +101,18 @@ int cmd_sweep(int argc, const char* const* argv) {
   parser.add_option("from", "0.30", "first target utilization");
   parser.add_option("to", "0.80", "last target utilization");
   parser.add_option("step", "0.05", "grid step");
-  parser.add_option("jobs", "20000", "jobs per sweep point");
+  parser.add_option("sim-jobs", "20000", "jobs per sweep point");
+  parser.add_option("jobs", std::to_string(exp::Runner::default_jobs()),
+                    "parallel sweep points (worker threads)");
   parser.add_option("gnuplot", "", "write .dat/.gp into this directory");
   if (!parser.parse(argc, argv)) return 0;
 
   SweepConfig config;
   config.target_utilizations = SweepConfig::grid(
       parser.get_double("from"), parser.get_double("to"), parser.get_double("step"));
-  config.jobs_per_point = parser.get_uint("jobs");
+  config.jobs_per_point = parser.get_uint("sim-jobs");
   config.seed = parser.get_uint("seed");
+  config.parallelism = static_cast<unsigned>(parser.get_uint("jobs"));
   const auto series = run_sweep(scenario_from(parser), config);
 
   print_panel(std::cout, "sweep: " + series.scenario.label(), {series});
@@ -139,15 +148,18 @@ int cmd_replications(int argc, const char* const* argv) {
   CliParser parser("mcsim replications: independent-replication CI for one load point");
   add_scenario_options(parser);
   parser.add_option("utilization", "0.5", "target gross utilization");
-  parser.add_option("jobs", "20000", "jobs per replication");
+  parser.add_option("sim-jobs", "20000", "jobs per replication");
   parser.add_option("reps", "10", "number of replications");
+  parser.add_option("jobs", std::to_string(exp::Runner::default_jobs()),
+                    "parallel replications (worker threads)");
   if (!parser.parse(argc, argv)) return 0;
 
   const auto scenario = scenario_from(parser);
   const auto result = run_replications(scenario, parser.get_double("utilization"),
-                                       parser.get_uint("jobs"),
+                                       parser.get_uint("sim-jobs"),
                                        static_cast<std::uint32_t>(parser.get_uint("reps")),
-                                       parser.get_uint("seed"));
+                                       parser.get_uint("seed"),
+                                       static_cast<unsigned>(parser.get_uint("jobs")));
   TextTable table({"metric", "value"});
   table.add_row({"scenario", scenario.label()});
   table.add_row({"stable replications", std::to_string(result.stable_replications())});
