@@ -6,6 +6,8 @@
 #include "cluster/placement.hpp"
 #include "core/engine.hpp"
 #include "exp/scenario.hpp"
+#include "obs/ring_recorder.hpp"
+#include "obs/swf_builder.hpp"
 #include "sim/calendar.hpp"
 #include "util/rng.hpp"
 #include "workload/das_workload.hpp"
@@ -123,6 +125,65 @@ BENCHMARK(BM_EndToEndSimulation)
     ->Arg(static_cast<int>(PolicyKind::kLS))
     ->Arg(static_cast<int>(PolicyKind::kLP))
     ->Arg(static_cast<int>(PolicyKind::kSC))
+    ->Unit(benchmark::kMillisecond);
+
+// The observability zero-cost contract (BENCH_obs.json): BM_EngineHot is
+// the engine with no sink attached — the body is BM_EndToEndSimulation's,
+// duplicated so before/after comparisons have a stable name — and must
+// stay within noise of the pre-observability baseline. BM_EngineTraced
+// runs the full pipeline (ring recorder + SWF builder + metrics) and
+// quantifies what tracing costs when you do ask for it.
+void BM_EngineHot(benchmark::State& state) {
+  const auto policy = static_cast<PolicyKind>(state.range(0));
+  std::uint64_t jobs = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    PaperScenario scenario;
+    scenario.policy = policy;
+    scenario.component_limit = 16;
+    auto config = make_paper_config(scenario, 0.5, 5000, seed++);
+    const auto result = run_simulation(config);
+    benchmark::DoNotOptimize(result.mean_response());
+    jobs += result.completed_jobs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.SetLabel("jobs/s");
+}
+BENCHMARK(BM_EngineHot)
+    ->Arg(static_cast<int>(PolicyKind::kGS))
+    ->Arg(static_cast<int>(PolicyKind::kLS))
+    ->Arg(static_cast<int>(PolicyKind::kLP))
+    ->Arg(static_cast<int>(PolicyKind::kSC))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineTraced(benchmark::State& state) {
+  const auto policy = static_cast<PolicyKind>(state.range(0));
+  std::uint64_t jobs = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    PaperScenario scenario;
+    scenario.policy = policy;
+    scenario.component_limit = 16;
+    auto config = make_paper_config(scenario, 0.5, 5000, seed++);
+    MulticlusterSimulation simulation(config);
+    obs::RingRecorder recorder;
+    obs::SwfTraceBuilder builder;
+    obs::MetricsRegistry metrics;
+    recorder.add_emitter(
+        [&builder](const obs::TraceEvent& event) { builder.record(event); });
+    simulation.set_trace_sink(&recorder);
+    simulation.set_metrics(&metrics);
+    const auto result = simulation.run();
+    benchmark::DoNotOptimize(result.mean_response());
+    benchmark::DoNotOptimize(builder.trace().records.size());
+    jobs += result.completed_jobs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.SetLabel("jobs/s");
+}
+BENCHMARK(BM_EngineTraced)
+    ->Arg(static_cast<int>(PolicyKind::kGS))
+    ->Arg(static_cast<int>(PolicyKind::kLS))
     ->Unit(benchmark::kMillisecond);
 
 // Placement-rule ablation at the system level: does WF vs FF/BF move the

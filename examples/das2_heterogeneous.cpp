@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   CliParser parser("Co-allocation on the real five-cluster DAS2 layout (72+4x32)");
   parser.add_option("utilization", "0.5", "target gross utilization");
   parser.add_option("limit", "24", "job-component-size limit");
-  parser.add_option("jobs", "30000", "simulated jobs");
+  parser.add_option("sim-jobs", "30000", "simulated jobs");
   parser.add_option("policy", "LS", "GS, LS or LP");
   parser.add_option("seed", "11", "master random seed");
   if (!parser.parse(argc, argv)) return 0;
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   config.workload.queue_weights = {72.0, 32.0, 32.0, 32.0, 32.0};
   config.workload.arrival_rate = config.workload.rate_for_gross_utilization(
       parser.get_double("utilization"), config.total_processors());
-  config.total_jobs = parser.get_uint("jobs");
+  config.total_jobs = parser.get_uint("sim-jobs");
   config.seed = parser.get_uint("seed");
 
   const auto result = run_simulation(config);

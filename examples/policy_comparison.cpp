@@ -1,7 +1,7 @@
 // Compare the four scheduling policies (GS, LS, LP, SC) on the paper's
 // workload at a chosen load.
 //
-//   $ ./examples/policy_comparison --utilization=0.55 --limit=16 --jobs=30000
+//   $ ./examples/policy_comparison --utilization=0.55 --limit=16 --sim-jobs=30000
 //   $ ./examples/policy_comparison --unbalanced     # hot local queue (40/20/20/20)
 #include <iostream>
 
@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   CliParser parser("Compare GS/LS/LP/SC on the DAS workload at one load point");
   parser.add_option("utilization", "0.55", "target gross utilization in (0,1)");
   parser.add_option("limit", "16", "job-component-size limit (16, 24 or 32)");
-  parser.add_option("jobs", "30000", "number of simulated jobs per policy");
+  parser.add_option("sim-jobs", "30000", "number of simulated jobs per policy");
   parser.add_option("seed", "7", "master random seed");
   parser.add_flag("unbalanced", "one local queue receives 40% of local submissions");
   parser.add_flag("das64", "cap total job sizes at 64 (DAS-s-64)");
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   scenario.balanced_queues = !parser.get_flag("unbalanced");
   scenario.limit_total_size_64 = parser.get_flag("das64");
   const double rho = parser.get_double("utilization");
-  const std::uint64_t jobs = parser.get_uint("jobs");
+  const std::uint64_t jobs = parser.get_uint("sim-jobs");
   const std::uint64_t seed = parser.get_uint("seed");
 
   std::cout << "workload: " << (scenario.limit_total_size_64 ? "DAS-s-64" : "DAS-s-128")

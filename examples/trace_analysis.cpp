@@ -13,6 +13,8 @@
 #include <memory>
 
 #include "core/engine.hpp"
+#include "obs/ring_recorder.hpp"
+#include "obs/swf_builder.hpp"
 #include "trace/empirical.hpp"
 #include "trace/swf.hpp"
 #include "trace/synthetic_log.hpp"
@@ -31,7 +33,7 @@ int main(int argc, char** argv) {
   parser.add_option("jobs-in-log", "30000", "synthetic log size");
   parser.add_option("utilization", "0.5", "target gross utilization for the simulation");
   parser.add_option("limit", "16", "job-component-size limit");
-  parser.add_option("jobs", "20000", "simulated jobs");
+  parser.add_option("sim-jobs", "20000", "simulated jobs");
   parser.add_option("seed", "3", "master random seed");
   parser.add_option("export", "", "write the SIMULATED schedule to this SWF path");
   parser.add_flag("sessions", "generate the synthetic log with the user-session model");
@@ -94,26 +96,21 @@ int main(int argc, char** argv) {
   config.workload.extension_factor = das::kExtensionFactor;
   config.workload.arrival_rate = config.workload.rate_for_gross_utilization(
       parser.get_double("utilization"), config.total_processors());
-  config.total_jobs = parser.get_uint("jobs");
+  config.total_jobs = parser.get_uint("sim-jobs");
   config.seed = parser.get_uint("seed") + 1;
 
   // Optionally capture the realised schedule as a trace of its own — the
-  // full loop: log in, statistics out, simulation in between.
+  // full loop: log in, statistics out, simulation in between. The obs layer
+  // does the bookkeeping: a RingRecorder receives every lifecycle event and
+  // streams them into an SwfTraceBuilder, which assembles one TraceRecord
+  // per completed job (see docs/TRACING.md).
   MulticlusterSimulation simulation(config);
-  SwfTrace simulated;
-  simulated.header_comments = {"Simulated schedule produced by mcsim (LS on 4x32)"};
+  obs::RingRecorder recorder;
+  obs::SwfTraceBuilder builder;
   const bool exporting = !parser.get("export").empty();
   if (exporting) {
-    simulation.set_job_observer([&](const Job& job, double finish) {
-      TraceRecord rec;
-      rec.job_id = job.spec.id + 1;
-      rec.submit_time = job.spec.arrival_time;
-      rec.start_time = job.start_time;
-      rec.end_time = finish;
-      rec.processors = job.spec.total_size;
-      rec.user_id = job.spec.origin_queue;
-      simulated.records.push_back(rec);
-    });
+    recorder.add_emitter([&builder](const obs::TraceEvent& event) { builder.record(event); });
+    simulation.set_trace_sink(&recorder);
   }
   const auto result = simulation.run();
   std::cout << "simulation (LS, 4x32, target gross utilization "
@@ -122,6 +119,8 @@ int main(int argc, char** argv) {
             << " s, p95 " << format_double(result.response_p95, 1) << " s, "
             << (result.unstable ? "UNSTABLE" : "stable") << "\n";
   if (exporting) {
+    SwfTrace simulated = builder.trace();
+    simulated.header_comments = {"Simulated schedule produced by mcsim (LS on 4x32)"};
     std::sort(simulated.records.begin(), simulated.records.end(),
               [](const TraceRecord& a, const TraceRecord& b) {
                 return a.submit_time < b.submit_time;

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -48,12 +49,71 @@ MulticlusterSimulation::MulticlusterSimulation(SimulationConfig config)
   result_.policy = scheduler_->name();
 }
 
+void MulticlusterSimulation::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    ctr_arrivals_ = ctr_started_ = ctr_finished_ = nullptr;
+    ctr_attempts_ = ctr_rejects_ = ctr_rejects_local_ = nullptr;
+    calendar_series_ = nullptr;
+    sim_.set_step_hook(nullptr);
+    return;
+  }
+  ctr_arrivals_ = &metrics_->counter("jobs.arrived");
+  ctr_started_ = &metrics_->counter("jobs.started");
+  ctr_finished_ = &metrics_->counter("jobs.finished");
+  ctr_attempts_ = &metrics_->counter("placement.attempts");
+  ctr_rejects_ = &metrics_->counter("placement.rejects");
+  ctr_rejects_local_ = &metrics_->counter("placement.rejects.local");
+  calendar_series_ = &metrics_->series("calendar.pending");
+  calendar_series_->start(0.0, 0.0);
+  sim_.set_step_hook([this](double time, std::size_t pending) {
+    calendar_series_->update(time, static_cast<double>(pending));
+  });
+}
+
+void MulticlusterSimulation::emit(obs::EventKind kind, const Job& job, double value,
+                                  std::int16_t cluster) {
+  obs::TraceEvent event;
+  event.time = sim_.now();
+  event.value = value;
+  event.job = job.spec.id;
+  event.size = job.spec.total_size;
+  event.kind = kind;
+  event.components = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(job.spec.component_count(), 255));
+  event.cluster = cluster;
+  sink_->record(event);
+}
+
+void MulticlusterSimulation::finish_metrics() {
+  if (metrics_ == nullptr) return;
+  metrics_->gauge("run.wall_seconds") = result_.wall_seconds;
+  metrics_->gauge("run.events_per_sec") =
+      result_.wall_seconds > 0.0
+          ? static_cast<double>(result_.events_executed) / result_.wall_seconds
+          : 0.0;
+  metrics_->gauge("run.sim_end_time") = sim_.now();
+  metrics_->gauge("run.unstable") = result_.unstable ? 1.0 : 0.0;
+  // Snapshot the engine's own time-weighted processes (measurement window,
+  // i.e. post-warmup) into the registry so the manifest carries them.
+  metrics_->series("queue.waiting") = queue_length_;
+  for (std::uint32_t c = 0; c < cluster_busy_.size(); ++c) {
+    const std::string prefix = "cluster." + std::to_string(c);
+    metrics_->series(prefix + ".busy") = cluster_busy_[c];
+    metrics_->gauge(prefix + ".busy_fraction") = result_.per_cluster_busy_fraction[c];
+  }
+}
+
 SimulationResult MulticlusterSimulation::run() {
   MCSIM_REQUIRE(!ran_, "MulticlusterSimulation::run may be called once");
   ran_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
   if (warmup_completions_ == 0) begin_measurement();
   schedule_next_arrival();
   sim_.run();
+  result_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
 
   result_.completed_jobs = completions_;
   result_.end_time = sim_.now();
@@ -78,6 +138,7 @@ SimulationResult MulticlusterSimulation::run() {
     result_.offered_gross_utilization = arrived_gross_work_ / capacity;
     result_.offered_net_utilization = arrived_net_work_ / capacity;
   }
+  finish_metrics();
   return result_;
 }
 
@@ -97,6 +158,11 @@ void MulticlusterSimulation::on_arrival(JobSpec spec) {
     arrived_net_work_ += static_cast<double>(spec.total_size) * spec.service_time;
   }
   auto job = std::make_shared<Job>(std::move(spec));
+  if (ctr_arrivals_ != nullptr) ++*ctr_arrivals_;
+  if (sink_ != nullptr) {
+    emit(obs::EventKind::kArrival, *job, 0.0,
+         static_cast<std::int16_t>(job->spec.origin_queue));
+  }
   scheduler_->submit(job);
   queue_length_.update(sim_.now(), static_cast<double>(scheduler_->queued_jobs()));
 
@@ -124,6 +190,25 @@ void MulticlusterSimulation::on_arrival(JobSpec spec) {
   schedule_next_arrival();
 }
 
+void MulticlusterSimulation::record_placement(Job& job, bool success,
+                                              std::int16_t cluster) {
+  if (metrics_ != nullptr) {
+    ++*ctr_attempts_;
+    if (!success) {
+      ++*ctr_rejects_;
+      if (cluster >= 0) ++*ctr_rejects_local_;
+    }
+  }
+  if (sink_ != nullptr) {
+    if (!job.considered) {
+      job.considered = true;
+      emit(obs::EventKind::kHeadOfQueue, job, 0.0, cluster);
+    }
+    emit(obs::EventKind::kPlacementAttempt, job, 0.0, cluster);
+    if (!success) emit(obs::EventKind::kPlacementReject, job, 0.0, cluster);
+  }
+}
+
 void MulticlusterSimulation::start_job(const JobPtr& job, Allocation allocation) {
   MCSIM_REQUIRE(!job->started(), "job started twice");
   job->allocation = std::move(allocation);
@@ -138,6 +223,11 @@ void MulticlusterSimulation::start_job(const JobPtr& job, Allocation allocation)
     cluster_busy_[placement.cluster].update(
         sim_.now(), static_cast<double>(system_.cluster(placement.cluster).busy()));
   }
+  if (ctr_started_ != nullptr) ++*ctr_started_;
+  if (sink_ != nullptr) {
+    emit(obs::EventKind::kStart, *job, sim_.now() - job->spec.arrival_time,
+         static_cast<std::int16_t>(job->allocation.front().cluster));
+  }
   sim_.schedule_in(runtime, [this, job]() { on_departure(job); });
 }
 
@@ -150,11 +240,22 @@ void MulticlusterSimulation::on_departure(const JobPtr& job) {
   }
   ++completions_;
 
+  // Decompose the response into the SWF quantities (wait + elapsed run
+  // time) and sum them, instead of computing now - arrival directly, so a
+  // trace exported as wait/run fields reconstructs the response — and
+  // therefore every response-time statistic — bit-exactly.
+  const double wait = job->start_time - job->spec.arrival_time;
+  const double run_elapsed = sim_.now() - job->start_time;
+  if (ctr_finished_ != nullptr) ++*ctr_finished_;
+  if (sink_ != nullptr) {
+    emit(obs::EventKind::kFinish, *job, run_elapsed,
+         static_cast<std::int16_t>(job->allocation.front().cluster));
+  }
+
   if (!measuring_ && completions_ >= warmup_completions_) begin_measurement();
 
   if (measuring_) {
-    const double response = sim_.now() - job->spec.arrival_time;
-    const double wait = job->start_time - job->spec.arrival_time;
+    const double response = wait + run_elapsed;
     result_.response_all.add(response);
     result_.wait_all.add(wait);
     response_batches_->add(response);

@@ -17,6 +17,8 @@
 
 #include "cluster/multicluster.hpp"
 #include "core/scheduler_factory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "sim/simulator.hpp"
 #include "stats/batch_means.hpp"
 #include "stats/percentile.hpp"
@@ -92,6 +94,9 @@ struct SimulationResult {
 
   std::vector<std::size_t> final_queue_lengths;
   std::uint64_t events_executed = 0;
+  /// Wall-clock seconds spent inside run() (provenance for the manifest;
+  /// events_executed / wall_seconds is the engine's events-per-second).
+  double wall_seconds = 0.0;
 
   [[nodiscard]] double mean_response() const { return response_all.mean(); }
 };
@@ -107,6 +112,19 @@ class MulticlusterSimulation final : public SchedulerContext {
   /// Register an observer called at every job completion. Call before run().
   void set_job_observer(JobObserver observer) { observer_ = std::move(observer); }
 
+  /// Attach a trace sink receiving every per-job lifecycle event (arrival,
+  /// head-of-queue, placement attempt/reject, start, finish). Non-owning;
+  /// call before run(). With no sink attached (the default) every emission
+  /// site reduces to one null-pointer test — the zero-cost fast path
+  /// benchmarked in BENCH_obs.json.
+  void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
+
+  /// Attach a metrics registry: the engine resolves its counters/series
+  /// once here and fills events/sec, calendar occupancy, queue length,
+  /// per-cluster utilization and placement-failure counts during run().
+  /// Non-owning; call before run().
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Run to completion and return the metrics. Callable once.
   SimulationResult run();
 
@@ -114,6 +132,7 @@ class MulticlusterSimulation final : public SchedulerContext {
   [[nodiscard]] const Multicluster& system() const override { return system_; }
   [[nodiscard]] double now() const override { return sim_.now(); }
   void start_job(const JobPtr& job, Allocation allocation) override;
+  void record_placement(Job& job, bool success, std::int16_t cluster) override;
 
   [[nodiscard]] const SimulationConfig& config() const { return config_; }
   [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
@@ -124,6 +143,8 @@ class MulticlusterSimulation final : public SchedulerContext {
   void on_arrival(JobSpec spec);
   void on_departure(const JobPtr& job);
   void begin_measurement();
+  void emit(obs::EventKind kind, const Job& job, double value, std::int16_t cluster);
+  void finish_metrics();
 
   SimulationConfig config_;
   Simulator sim_;
@@ -137,6 +158,19 @@ class MulticlusterSimulation final : public SchedulerContext {
   std::unique_ptr<BatchMeans> response_batches_;
   P2Quantile response_p95_{0.95};
   SimulationResult result_;
+
+  // Observability (all optional, non-owning; null means detached).
+  obs::TraceSink* sink_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Counter references resolved once at attach time (hot path bumps plain
+  // integers, never touches the registry map).
+  std::uint64_t* ctr_arrivals_ = nullptr;
+  std::uint64_t* ctr_started_ = nullptr;
+  std::uint64_t* ctr_finished_ = nullptr;
+  std::uint64_t* ctr_attempts_ = nullptr;
+  std::uint64_t* ctr_rejects_ = nullptr;
+  std::uint64_t* ctr_rejects_local_ = nullptr;
+  TimeWeightedStat* calendar_series_ = nullptr;
 
   std::uint64_t arrivals_generated_ = 0;
   std::uint64_t completions_ = 0;

@@ -19,6 +19,9 @@ struct Job {
   Allocation allocation;     // filled when the job starts
   double start_time = -1.0;  // < 0 while queued
   QueueClass queue_class = QueueClass::kGlobal;
+  /// Observability: set once the scheduler first considered the job for
+  /// placement (the trace layer's head-of-queue event fires then).
+  bool considered = false;
 
   [[nodiscard]] bool started() const { return start_time >= 0.0; }
 };

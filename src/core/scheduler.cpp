@@ -50,23 +50,31 @@ JobOrder make_job_order(QueueDiscipline discipline) {
 
 std::optional<Allocation> Scheduler::try_place(const JobPtr& job) const {
   const auto idle = context_.system().idle_counts();
+  std::optional<Allocation> allocation;
   switch (job->spec.request_type) {
     case RequestType::kOrdered:
-      return place_ordered(job->spec.components, job->spec.ordered_clusters, idle);
+      allocation = place_ordered(job->spec.components, job->spec.ordered_clusters, idle);
+      break;
     case RequestType::kFlexible:
-      return place_flexible(job->spec.total_size, idle);
+      allocation = place_flexible(job->spec.total_size, idle);
+      break;
     case RequestType::kUnordered:
     case RequestType::kTotal:
-      return place_components(job->spec.components, idle, placement_);
+      allocation = place_components(job->spec.components, idle, placement_);
+      break;
   }
-  return std::nullopt;
+  context_.record_placement(*job, allocation.has_value(), /*cluster=*/-1);
+  return allocation;
 }
 
 std::optional<Allocation> Scheduler::try_place_local(const JobPtr& job,
                                                      ClusterId cluster) const {
   MCSIM_ASSERT(job->spec.components.size() == 1);
-  return place_on_cluster(job->spec.components.front(), cluster,
-                          context_.system().idle_counts());
+  auto allocation = place_on_cluster(job->spec.components.front(), cluster,
+                                     context_.system().idle_counts());
+  context_.record_placement(*job, allocation.has_value(),
+                            static_cast<std::int16_t>(cluster));
+  return allocation;
 }
 
 }  // namespace mcsim

@@ -55,6 +55,13 @@ class SchedulerContext {
   /// Start `job` on `allocation` now; the engine allocates the processors
   /// and schedules the departure.
   virtual void start_job(const JobPtr& job, Allocation allocation) = 0;
+  /// Observability: every placement attempt reports its outcome here
+  /// (called by Scheduler::try_place / try_place_local). `cluster` is the
+  /// local cluster the attempt was restricted to, or -1 for a system-wide
+  /// attempt. The default ignores it; the engine forwards it to an
+  /// attached trace sink and metrics registry.
+  virtual void record_placement(Job& /*job*/, bool /*success*/,
+                                std::int16_t /*cluster*/) {}
 };
 
 class Scheduler {

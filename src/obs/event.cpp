@@ -1,0 +1,17 @@
+#include "obs/event.hpp"
+
+namespace mcsim::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kHeadOfQueue: return "head-of-queue";
+    case EventKind::kPlacementAttempt: return "placement-attempt";
+    case EventKind::kPlacementReject: return "placement-reject";
+    case EventKind::kStart: return "start";
+    case EventKind::kFinish: return "finish";
+  }
+  return "?";
+}
+
+}  // namespace mcsim::obs

@@ -1,0 +1,153 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace mcsim::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.*g", std::numeric_limits<double>::max_digits10,
+                value);
+  std::string text(buf);
+  // "1e+06" is valid JSON, but bare integers ("42") are ambiguous with the
+  // integer type for schema readers; keep them as numbers regardless.
+  return text;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_value();
+  out_ << '{';
+  stack_.push_back({/*is_object=*/true, /*has_items=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MCSIM_REQUIRE(!stack_.empty() && stack_.back().is_object && !key_pending_,
+                "JsonWriter: end_object outside an object");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    out_ << '\n';
+    indent();
+  }
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_value();
+  out_ << '[';
+  stack_.push_back({/*is_object=*/false, /*has_items=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MCSIM_REQUIRE(!stack_.empty() && !stack_.back().is_object,
+                "JsonWriter: end_array outside an array");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    out_ << '\n';
+    indent();
+  }
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  MCSIM_REQUIRE(!stack_.empty() && stack_.back().is_object && !key_pending_,
+                "JsonWriter: key outside an object");
+  if (stack_.back().has_items) out_ << ',';
+  out_ << '\n';
+  stack_.back().has_items = true;
+  indent();
+  out_ << '"' << json_escape(name) << "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  prepare_value();
+  out_ << '"' << json_escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  prepare_value();
+  out_ << json_double(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  prepare_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  prepare_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  prepare_value();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prepare_value();
+  out_ << "null";
+  return *this;
+}
+
+void JsonWriter::prepare_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    MCSIM_REQUIRE(!stack_.back().is_object,
+                  "JsonWriter: value inside an object needs a key");
+    if (stack_.back().has_items) out_ << ',';
+    out_ << '\n';
+    stack_.back().has_items = true;
+    indent();
+  }
+}
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+}  // namespace mcsim::obs

@@ -1,0 +1,70 @@
+/// \file
+/// \brief A minimal streaming JSON writer (no external dependencies).
+///
+/// Purpose-built for the run manifest and metrics export: objects, arrays,
+/// strings with escaping, and doubles printed with max_digits10 precision
+/// so every value round-trips bit-exactly through strtod — the property the
+/// manifest's reproducibility guarantee rests on.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsim::obs {
+
+/// Escape a string for inclusion in a JSON document (no surrounding quotes).
+std::string json_escape(std::string_view text);
+
+/// Render a double as a JSON number that parses back to the identical bits
+/// (max_digits10 significant digits; non-finite values become null).
+std::string json_double(double value);
+
+/// Streaming writer producing pretty-printed (2-space indented) JSON.
+///
+/// Usage:
+///   JsonWriter json(out);
+///   json.begin_object();
+///   json.key("seed").value(std::uint64_t{1});
+///   json.key("metrics").begin_object(); ... json.end_object();
+///   json.end_object();
+///
+/// The writer tracks nesting and comma placement; keys and values must
+/// alternate correctly inside objects (enforced with MCSIM_REQUIRE).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; the next call must produce its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+ private:
+  struct Scope {
+    bool is_object = false;
+    bool has_items = false;
+  };
+
+  void prepare_value();
+  void indent();
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace mcsim::obs

@@ -1,0 +1,50 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace mcsim::obs {
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_.try_emplace(name, 0).first->second;
+}
+
+double& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_.try_emplace(name, 0.0).first->second;
+}
+
+TimeWeightedStat& MetricsRegistry::series(const std::string& name) {
+  return series_[name];
+}
+
+void MetricsRegistry::write_json(JsonWriter& json, double sim_now) const {
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, count] : counters_) json.key(name).value(count);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges_) json.key(name).value(value);
+  json.end_object();
+  json.key("series").begin_object();
+  for (const auto& [name, stat] : series_) {
+    json.key(name).begin_object();
+    const bool observed = std::isfinite(stat.min());
+    json.key("mean").value(observed ? stat.time_average(sim_now) : 0.0);
+    json.key("min").value(observed ? stat.min() : 0.0);
+    json.key("max").value(observed ? stat.max() : 0.0);
+    json.key("last").value(stat.current_value());
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void MetricsRegistry::write_json(std::ostream& out, double sim_now) const {
+  JsonWriter json(out);
+  write_json(json, sim_now);
+  out << '\n';
+}
+
+}  // namespace mcsim::obs

@@ -1,0 +1,66 @@
+/// \file
+/// \brief MetricsRegistry — named counters, gauges and time-weighted series
+/// sampled during a run and exported into the run manifest.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "stats/time_weighted.hpp"
+
+namespace mcsim::obs {
+
+class JsonWriter;
+
+/// A registry of run-scoped metrics, keyed by dotted names
+/// ("placement.rejects", "calendar.pending", "cluster.0.busy").
+///
+/// Three metric families:
+///   - counters: monotonically increasing event counts (std::uint64_t);
+///   - gauges:   point-in-time doubles set once or occasionally
+///               ("run.events_per_sec");
+///   - series:   TimeWeightedStat integrals of piecewise-constant processes
+///               over simulation time ("calendar.pending"), exported as
+///               {mean, min, max, last}.
+///
+/// Lookup happens at *attach* time: the engine resolves `counter("...")`
+/// references once and bumps plain integers on the hot path, so the map is
+/// never touched per event. std::map keeps references stable and the JSON
+/// export deterministically ordered.
+class MetricsRegistry {
+ public:
+  /// The counter named `name`, created at 0 on first use. The reference
+  /// stays valid for the registry's lifetime.
+  std::uint64_t& counter(const std::string& name);
+
+  /// The gauge named `name`, created at 0.0 on first use.
+  double& gauge(const std::string& name);
+
+  /// The time-weighted series named `name`, created (unstarted) on first
+  /// use; the caller drives start()/update().
+  TimeWeightedStat& series(const std::string& name);
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::map<std::string, TimeWeightedStat>& all_series() const {
+    return series_;
+  }
+
+  /// Append the registry as a JSON object value to `json`. Series averages
+  /// are evaluated at simulation time `sim_now`.
+  void write_json(JsonWriter& json, double sim_now) const;
+
+  /// Convenience: the whole registry as one standalone JSON document.
+  void write_json(std::ostream& out, double sim_now) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, TimeWeightedStat> series_;
+};
+
+}  // namespace mcsim::obs

@@ -1,0 +1,79 @@
+#include "obs/ring_recorder.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace mcsim::obs {
+
+RingRecorder::RingRecorder(std::size_t capacity) {
+  MCSIM_REQUIRE(capacity > 0, "RingRecorder capacity must be positive");
+  buffer_.resize(capacity);
+}
+
+void RingRecorder::record(const TraceEvent& event) {
+  for (const Emitter& emitter : emitters_) emitter(event);
+  buffer_[head_] = event;
+  head_ = (head_ + 1) % buffer_.size();
+  if (size_ < buffer_.size()) ++size_;
+  ++total_;
+}
+
+void RingRecorder::add_emitter(Emitter emitter) {
+  MCSIM_REQUIRE(static_cast<bool>(emitter), "emitter must be callable");
+  emitters_.push_back(std::move(emitter));
+}
+
+std::vector<TraceEvent> RingRecorder::snapshot() const {
+  std::vector<TraceEvent> events;
+  events.reserve(size_);
+  // Oldest event sits at head_ when the ring has wrapped, at 0 otherwise.
+  const std::size_t begin = size_ == buffer_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    events.push_back(buffer_[(begin + i) % buffer_.size()]);
+  }
+  return events;
+}
+
+void RingRecorder::clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+namespace {
+constexpr char kMagic[4] = {'M', 'C', 'T', '1'};
+}  // namespace
+
+void RingRecorder::write_binary(std::ostream& out) const {
+  const auto events = snapshot();
+  const auto count = static_cast<std::uint64_t>(events.size());
+  out.write(kMagic, sizeof kMagic);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  if (!events.empty()) {
+    out.write(reinterpret_cast<const char*>(events.data()),
+              static_cast<std::streamsize>(events.size() * sizeof(TraceEvent)));
+  }
+}
+
+std::vector<TraceEvent> RingRecorder::read_binary(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof magic);
+  MCSIM_REQUIRE(in.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                "not an mcsim binary trace (bad magic)");
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  MCSIM_REQUIRE(in.good(), "truncated binary trace header");
+  std::vector<TraceEvent> events(count);
+  if (count > 0) {
+    in.read(reinterpret_cast<char*>(events.data()),
+            static_cast<std::streamsize>(count * sizeof(TraceEvent)));
+    MCSIM_REQUIRE(in.gcount() ==
+                      static_cast<std::streamsize>(count * sizeof(TraceEvent)),
+                  "truncated binary trace body");
+  }
+  return events;
+}
+
+}  // namespace mcsim::obs

@@ -1,0 +1,74 @@
+/// \file
+/// \brief RingRecorder — bounded binary recording of trace events, with
+/// pluggable emitters for streaming consumers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace mcsim::obs {
+
+/// A streaming consumer attached to a RingRecorder: invoked once per event,
+/// in emission order, before the event is stored in the ring.
+using Emitter = std::function<void(const TraceEvent&)>;
+
+/// Fixed-capacity ring buffer of TraceEvents.
+///
+/// The ring keeps the most recent `capacity` events (older ones are
+/// overwritten, counted in dropped()) so a long run can always be inspected
+/// "near the end" at O(capacity) memory — the AccaSim-style flight
+/// recorder. Consumers that need *every* event (e.g. SwfTraceBuilder)
+/// attach as emitters instead of growing the ring.
+///
+/// The stored events are a contiguous binary image; write_binary()/
+/// read_binary() dump and reload them (same-architecture format, magic
+/// "MCT1").
+class RingRecorder final : public TraceSink {
+ public:
+  /// A recorder keeping the last `capacity` events (>= 1).
+  explicit RingRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void record(const TraceEvent& event) override;
+
+  /// Attach a streaming consumer; emitters run in attachment order.
+  void add_emitter(Emitter emitter);
+
+  /// Events currently held (<= capacity()).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return buffer_.size(); }
+  /// Total events ever recorded.
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_ - static_cast<std::uint64_t>(size_);
+  }
+
+  /// The held events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Forget all held events (totals keep counting).
+  void clear();
+
+  /// Dump the held events (oldest first) as a binary stream.
+  void write_binary(std::ostream& out) const;
+
+  /// Reload a write_binary() dump. Throws std::invalid_argument on a
+  /// malformed stream.
+  static std::vector<TraceEvent> read_binary(std::istream& in);
+
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::vector<Emitter> emitters_;
+  std::size_t head_ = 0;  // next write position
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mcsim::obs

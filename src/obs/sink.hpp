@@ -1,0 +1,29 @@
+/// \file
+/// \brief TraceSink — the interface the engine publishes trace events to.
+///
+/// The engine holds a non-owning `TraceSink*` that defaults to nullptr; all
+/// emission sites are guarded by that single pointer test, so a run with no
+/// sink attached pays one predictable branch per event site and nothing
+/// else (the null-sink fast path; BENCH_obs.json quantifies it).
+#pragma once
+
+#include "obs/event.hpp"
+
+namespace mcsim::obs {
+
+/// Receives every TraceEvent of a run, in emission order.
+///
+/// Implementations must be cheap: record() sits on the engine's event path.
+/// The library ships RingRecorder (bounded binary ring + pluggable
+/// emitters) and SwfTraceBuilder (assembles an SWF trace of the realised
+/// schedule); tests add counting sinks.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Observe one event. Called synchronously from the simulation; must not
+  /// re-enter the engine.
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+}  // namespace mcsim::obs

@@ -1,0 +1,41 @@
+#include "obs/swf_builder.hpp"
+
+namespace mcsim::obs {
+
+void SwfTraceBuilder::record(const TraceEvent& event) {
+  switch (event.kind) {
+    case EventKind::kArrival: {
+      ++arrivals_;
+      PendingJob& job = pending_[event.job];
+      job.submit = event.time;
+      job.size = event.size;
+      job.user = event.cluster >= 0 ? static_cast<std::uint32_t>(event.cluster) : 0;
+      break;
+    }
+    case EventKind::kStart: {
+      auto it = pending_.find(event.job);
+      if (it != pending_.end()) it->second.wait = event.value;
+      break;
+    }
+    case EventKind::kFinish: {
+      auto it = pending_.find(event.job);
+      if (it == pending_.end()) break;  // finish without observed arrival
+      TraceRecord rec;
+      rec.job_id = event.job + 1;  // SWF job ids are 1-based by convention
+      rec.submit_time = it->second.submit;
+      rec.wait_time = it->second.wait;
+      rec.run_time = event.value;
+      rec.processors = it->second.size;
+      rec.user_id = it->second.user;
+      trace_.records.push_back(rec);
+      pending_.erase(it);
+      break;
+    }
+    case EventKind::kHeadOfQueue:
+    case EventKind::kPlacementAttempt:
+    case EventKind::kPlacementReject:
+      break;  // decision events carry no schedule fields
+  }
+}
+
+}  // namespace mcsim::obs

@@ -1,0 +1,56 @@
+/// \file
+/// \brief SwfTraceBuilder — a TraceSink that assembles the realised
+/// schedule of a run into a Standard Workload Format trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "trace/swf.hpp"
+
+namespace mcsim::obs {
+
+/// Builds one TraceRecord per *finished* job from the event stream:
+/// kArrival supplies submit time, size and origin queue (exported as the
+/// SWF user id), kStart the wait time, kFinish the realised run time.
+///
+/// Records are appended in finish order — the order the engine folded each
+/// job's response time into its statistics — and wait/run are taken
+/// verbatim from the event payloads, so re-reading the written SWF file
+/// reconstructs the run's response-time statistics bit-exactly (see
+/// docs/TRACING.md, "Round-tripping a run").
+///
+/// Jobs still queued or running when the simulation stops (e.g. an
+/// unstable run) produce no record; count them as
+/// arrivals() - trace().records.size().
+class SwfTraceBuilder final : public TraceSink {
+ public:
+  SwfTraceBuilder() = default;
+
+  void record(const TraceEvent& event) override;
+
+  /// Jobs whose arrival was observed.
+  [[nodiscard]] std::uint64_t arrivals() const { return arrivals_; }
+
+  /// The assembled trace (records in finish order). `header_comments`
+  /// starts empty; callers add provenance lines before writing.
+  [[nodiscard]] const SwfTrace& trace() const { return trace_; }
+  [[nodiscard]] SwfTrace& trace() { return trace_; }
+
+ private:
+  struct PendingJob {
+    double submit = 0.0;
+    double wait = 0.0;
+    std::uint32_t size = 0;
+    std::uint32_t user = 0;
+  };
+
+  SwfTrace trace_;
+  std::unordered_map<std::uint64_t, PendingJob> pending_;
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace mcsim::obs

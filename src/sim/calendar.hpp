@@ -1,4 +1,6 @@
-// Pending-event calendar: a binary min-heap ordered by (time, sequence).
+/// \file
+/// \brief Pending-event calendar: a binary min-heap ordered by
+/// (time, sequence).
 //
 // The sequence number makes simultaneous events fire in scheduling order,
 // which keeps runs deterministic. Cancellation is lazy and O(1): ids are

@@ -1,4 +1,5 @@
-// Event primitives for the discrete-event engine.
+/// \file
+/// \brief Event primitives for the discrete-event engine.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,6 @@
-// Process-oriented simulation facade (the CSIM18 programming model) on top
-// of the event-driven core, built on C++20 coroutines.
+/// \file
+/// \brief Process-oriented simulation facade (the CSIM18 programming
+/// model) on top of the event-driven core, built on C++20 coroutines.
 //
 // CSIM expresses a model as processes that hold state across simulated
 // time; our schedulers use raw events instead, but the facade exists so

@@ -52,6 +52,14 @@ void Simulator::reset() {
   now_ = 0.0;
   stop_requested_ = false;
   executed_ = 0;
+  events_since_hook_ = 0;
+}
+
+void Simulator::set_step_hook(StepHook hook, std::uint64_t stride) {
+  MCSIM_REQUIRE(stride >= 1, "step-hook stride must be at least 1");
+  step_hook_ = std::move(hook);
+  hook_stride_ = stride;
+  events_since_hook_ = 0;
 }
 
 void Simulator::dispatch(const Calendar::Entry& entry) {
@@ -64,6 +72,10 @@ void Simulator::dispatch(const Calendar::Entry& entry) {
   handlers_.erase(it);
   ++executed_;
   handler();
+  if (step_hook_ && ++events_since_hook_ >= hook_stride_) {
+    events_since_hook_ = 0;
+    step_hook_(now_, calendar_.size());
+  }
 }
 
 }  // namespace mcsim

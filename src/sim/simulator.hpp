@@ -1,16 +1,20 @@
-// The discrete-event simulator: clock + calendar + handler dispatch.
-//
-// This is the CSIM18 substitute (see DESIGN.md). The paper's model needs
-// only timed events (arrivals, departures) and deterministic tie-breaking;
-// process-orientation in CSIM is a convenience we do not require.
-//
-// Usage:
-//   Simulator sim;
-//   sim.schedule_in(1.5, [&]{ ... });
-//   sim.run();                       // until calendar empty or stop()
+/// \file
+/// \brief The discrete-event simulator: clock + calendar + handler dispatch.
+///
+/// This is the CSIM18 substitute (see DESIGN.md). The paper's model needs
+/// only timed events (arrivals, departures) and deterministic tie-breaking;
+/// process-orientation in CSIM is a convenience we do not require.
+///
+/// Usage:
+/// \code
+///   Simulator sim;
+///   sim.schedule_in(1.5, [&]{ ... });
+///   sim.run();                       // until calendar empty or stop()
+/// \endcode
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "sim/calendar.hpp"
@@ -18,6 +22,14 @@
 
 namespace mcsim {
 
+/// Observability hook invoked after dispatched events with the advanced
+/// clock and the number of still-pending events (calendar occupancy).
+using StepHook = std::function<void(double now, std::size_t pending)>;
+
+/// The event-driven simulation core: a clock, a cancellable calendar and
+/// handler dispatch. One Simulator drives one run; it is not thread-safe
+/// and runs are made parallel by giving each its own Simulator
+/// (docs/ARCHITECTURE.md, "Threading model").
 class Simulator {
  public:
   Simulator() = default;
@@ -56,11 +68,22 @@ class Simulator {
   /// Drop all pending events and reset the clock to zero.
   void reset();
 
+  /// Attach an observability hook called every `stride`-th dispatched
+  /// event (stride >= 1), e.g. to sample calendar occupancy into a
+  /// time-weighted series. Pass a null hook to detach. With no hook
+  /// attached the dispatch path pays a single predictable branch — the
+  /// null-sink fast path the observability layer is benchmarked against
+  /// (BENCH_obs.json).
+  void set_step_hook(StepHook hook, std::uint64_t stride = 1);
+
  private:
   void dispatch(const Calendar::Entry& entry);
 
   Calendar calendar_;
   std::unordered_map<EventId, EventHandler> handlers_;
+  StepHook step_hook_;
+  std::uint64_t hook_stride_ = 1;
+  std::uint64_t events_since_hook_ = 0;
   double now_ = 0.0;
   bool stop_requested_ = false;
   std::uint64_t executed_ = 0;

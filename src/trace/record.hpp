@@ -1,6 +1,14 @@
 // One job record of a cluster workload log, modelled on the fields the
-// paper extracts from the DAS1 PBS log: submit/start/end times, requested
-// processors, and the submitting user.
+// paper extracts from the DAS1 PBS log: submit time, queueing delay, run
+// time, requested processors, and the submitting user.
+//
+// The record stores the SWF-native quantities (submit, wait, run) as
+// members and *derives* the absolute start/end times, not the other way
+// round. SWF files carry wait and run, so storing them directly makes a
+// write -> read round trip reproduce every record bit-exactly (the
+// observability layer's manifest guarantee, docs/TRACING.md); derived
+// absolute times may differ from a sum computed in another order by one
+// ULP, which only display and binning care about.
 #pragma once
 
 #include <cstdint>
@@ -11,16 +19,19 @@ struct TraceRecord {
   std::uint64_t job_id = 0;
   /// Seconds since the start of the log.
   double submit_time = 0.0;
-  double start_time = 0.0;
-  double end_time = 0.0;
+  /// Queueing delay: start - submit (SWF field 3).
+  double wait_time = 0.0;
+  /// Execution time: end - start (SWF field 4).
+  double run_time = 0.0;
   std::uint32_t processors = 0;
   std::uint32_t user_id = 0;
   /// True if the job was killed by the 15-minute working-hours limit.
   bool killed_by_limit = false;
 
-  [[nodiscard]] double service_time() const { return end_time - start_time; }
-  [[nodiscard]] double wait_time() const { return start_time - submit_time; }
-  [[nodiscard]] double response_time() const { return end_time - submit_time; }
+  [[nodiscard]] double start_time() const { return submit_time + wait_time; }
+  [[nodiscard]] double end_time() const { return submit_time + wait_time + run_time; }
+  [[nodiscard]] double service_time() const { return run_time; }
+  [[nodiscard]] double response_time() const { return wait_time + run_time; }
 };
 
 }  // namespace mcsim

@@ -30,10 +30,8 @@ SwfTrace read_swf(std::istream& in) {
     TraceRecord rec;
     rec.job_id = static_cast<std::uint64_t>(field[0]);
     rec.submit_time = field[1];
-    const double wait = field[2] >= 0 ? field[2] : 0.0;
-    rec.start_time = rec.submit_time + wait;
-    const double run = field[3] >= 0 ? field[3] : 0.0;
-    rec.end_time = rec.start_time + run;
+    rec.wait_time = field[2] >= 0 ? field[2] : 0.0;
+    rec.run_time = field[3] >= 0 ? field[3] : 0.0;
     const double alloc = field[4] >= 0 ? field[4] : field[7];
     MCSIM_REQUIRE(alloc >= 0, "SWF line " + std::to_string(line_no) + ": no processor count");
     rec.processors = static_cast<std::uint32_t>(alloc);
@@ -53,13 +51,13 @@ SwfTrace read_swf_file(const std::string& path) {
 void write_swf(std::ostream& out, const SwfTrace& trace) {
   for (const auto& comment : trace.header_comments) out << "; " << comment << '\n';
   for (const auto& rec : trace.records) {
-    const double wait = rec.wait_time();
-    const double run = rec.service_time();
-    // 18 SWF fields; unmodelled ones are -1.
-    out << rec.job_id << ' '                       // 1 job id
-        << format_double(rec.submit_time, 2) << ' '  // 2 submit
-        << format_double(wait, 2) << ' '             // 3 wait
-        << format_double(run, 2) << ' '              // 4 run time
+    // 18 SWF fields; unmodelled ones are -1. Times are printed with
+    // round-trip precision: wait and run are stored fields of TraceRecord,
+    // so write -> read reproduces them bit-exactly.
+    out << rec.job_id << ' '                                  // 1 job id
+        << format_double_roundtrip(rec.submit_time) << ' '    // 2 submit
+        << format_double_roundtrip(rec.wait_time) << ' '      // 3 wait
+        << format_double_roundtrip(rec.run_time) << ' '       // 4 run time
         << rec.processors << ' '                     // 5 allocated procs
         << -1 << ' '                                 // 6 avg cpu time
         << -1 << ' '                                 // 7 used memory

@@ -7,9 +7,12 @@
 // tooling and lets users feed real SWF traces into the simulator.
 //
 // Field map used (1-based SWF numbering):
-//   1 job id | 2 submit | 4 run time | 5 allocated procs
+//   1 job id | 2 submit | 3 wait | 4 run time | 5 allocated procs
 //   8 requested procs | 12 user id | 11 status (1 completed, 5 killed)
-// SWF carries wait time in field 3; start = submit + wait.
+// TraceRecord stores exactly the quantities SWF carries (submit, wait,
+// run), and times are written with round-trip precision (%.17g), so a
+// write -> read cycle reproduces every record bit-exactly — the property
+// the observability layer's export pipeline relies on (docs/TRACING.md).
 #pragma once
 
 #include <iosfwd>

@@ -16,10 +16,10 @@ std::vector<double> utilization_profile(const std::vector<TraceRecord>& records,
   if (records.empty()) return profile;
 
   double t0 = records.front().submit_time;
-  double t1 = records.front().end_time;
+  double t1 = records.front().end_time();
   for (const auto& rec : records) {
     t0 = std::min(t0, rec.submit_time);
-    t1 = std::max(t1, rec.end_time);
+    t1 = std::max(t1, rec.end_time());
   }
   const double span = t1 - t0;
   if (span <= 0.0) return profile;
@@ -28,18 +28,18 @@ std::vector<double> utilization_profile(const std::vector<TraceRecord>& records,
   // Accumulate busy processor-seconds per bucket by clipping each job's
   // [start, end) against the bucket edges.
   for (const auto& rec : records) {
-    if (rec.end_time <= rec.start_time) continue;
+    if (rec.end_time() <= rec.start_time()) continue;
     const auto first =
-        static_cast<std::size_t>(std::clamp((rec.start_time - t0) / width, 0.0,
+        static_cast<std::size_t>(std::clamp((rec.start_time() - t0) / width, 0.0,
                                             static_cast<double>(buckets - 1)));
     const auto last =
-        static_cast<std::size_t>(std::clamp((rec.end_time - t0) / width, 0.0,
+        static_cast<std::size_t>(std::clamp((rec.end_time() - t0) / width, 0.0,
                                             static_cast<double>(buckets - 1)));
     for (std::size_t b = first; b <= last; ++b) {
       const double bucket_lo = t0 + width * static_cast<double>(b);
       const double bucket_hi = bucket_lo + width;
       const double overlap =
-          std::min(rec.end_time, bucket_hi) - std::max(rec.start_time, bucket_lo);
+          std::min(rec.end_time(), bucket_hi) - std::max(rec.start_time(), bucket_lo);
       if (overlap > 0.0) {
         profile[b] += overlap * static_cast<double>(rec.processors);
       }

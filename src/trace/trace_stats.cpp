@@ -21,7 +21,7 @@ TraceSummary summarize_trace(const std::vector<TraceRecord>& records) {
   RunningStats size_stats;
   RunningStats service_stats;
   double first_submit = records.front().submit_time;
-  double last_end = records.front().end_time;
+  double last_end = records.front().end_time();
   std::uint64_t pow2 = 0;
   std::uint64_t under_15min = 0;
   std::uint32_t min_size = records.front().processors;
@@ -33,7 +33,7 @@ TraceSummary summarize_trace(const std::vector<TraceRecord>& records) {
     size_stats.add(static_cast<double>(rec.processors));
     service_stats.add(rec.service_time());
     first_submit = std::min(first_submit, rec.submit_time);
-    last_end = std::max(last_end, rec.end_time);
+    last_end = std::max(last_end, rec.end_time());
     if (is_power_of_two(rec.processors)) ++pow2;
     if (rec.service_time() < 900.0) ++under_15min;
     min_size = std::min(min_size, rec.processors);

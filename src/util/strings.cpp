@@ -14,6 +14,12 @@ std::string format_double(double value, int precision) {
 
 std::string format_util(double value) { return format_double(value, 3); }
 
+std::string format_double_roundtrip(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
 std::string str_printf(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

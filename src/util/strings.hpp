@@ -14,6 +14,11 @@ std::string format_double(double value, int precision = 3);
 /// Format a double like the paper prints utilizations, e.g. "0.553".
 std::string format_util(double value);
 
+/// Format a double with enough significant digits (max_digits10) that
+/// parsing the text back yields the identical bits — the precision trace
+/// and manifest files are written with.
+std::string format_double_roundtrip(double value);
+
 /// printf-style formatting into a std::string.
 std::string str_printf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

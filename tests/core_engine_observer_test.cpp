@@ -43,8 +43,8 @@ TEST(JobObserver, ExportedScheduleIsAnalyzableTrace) {
     TraceRecord rec;
     rec.job_id = job.spec.id;
     rec.submit_time = job.spec.arrival_time;
-    rec.start_time = job.start_time;
-    rec.end_time = finish;
+    rec.wait_time = job.start_time - job.spec.arrival_time;
+    rec.run_time = finish - job.start_time;
     rec.processors = job.spec.total_size;
     records.push_back(rec);
   });

@@ -1,0 +1,148 @@
+// SwfTraceBuilder event-stream assembly and the SWF writer's field
+// encoding (18 fields, -1 for unmodelled, status 5 for killed jobs).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/swf_builder.hpp"
+#include "trace/swf.hpp"
+#include "util/strings.hpp"
+
+namespace mcsim {
+namespace {
+
+obs::TraceEvent event(obs::EventKind kind, std::uint64_t job, double time,
+                      double value = 0.0, std::int16_t cluster = -1,
+                      std::uint32_t size = 8) {
+  obs::TraceEvent e;
+  e.time = time;
+  e.value = value;
+  e.job = job;
+  e.size = size;
+  e.kind = kind;
+  e.components = 1;
+  e.cluster = cluster;
+  return e;
+}
+
+TEST(SwfTraceBuilder, AssemblesOneRecordPerFinishedJob) {
+  obs::SwfTraceBuilder builder;
+  // Job 0: submit 10, waits 5, runs 20. Job 1 arrives but never finishes.
+  builder.record(event(obs::EventKind::kArrival, 0, 10.0, 0.0, /*origin=*/2));
+  builder.record(event(obs::EventKind::kArrival, 1, 12.0, 0.0, 0));
+  builder.record(event(obs::EventKind::kStart, 0, 15.0, /*wait=*/5.0, 1));
+  builder.record(event(obs::EventKind::kFinish, 0, 35.0, /*run=*/20.0, 1));
+
+  EXPECT_EQ(builder.arrivals(), 2u);
+  const auto& records = builder.trace().records;
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].job_id, 1u);  // SWF ids are 1-based
+  EXPECT_DOUBLE_EQ(records[0].submit_time, 10.0);
+  EXPECT_DOUBLE_EQ(records[0].wait_time, 5.0);
+  EXPECT_DOUBLE_EQ(records[0].run_time, 20.0);
+  EXPECT_EQ(records[0].processors, 8u);
+  EXPECT_EQ(records[0].user_id, 2u);  // origin queue exported as user
+}
+
+TEST(SwfTraceBuilder, RecordsStayInFinishOrder) {
+  obs::SwfTraceBuilder builder;
+  builder.record(event(obs::EventKind::kArrival, 0, 0.0));
+  builder.record(event(obs::EventKind::kArrival, 1, 1.0));
+  builder.record(event(obs::EventKind::kStart, 0, 2.0, 2.0));
+  builder.record(event(obs::EventKind::kStart, 1, 2.0, 1.0));
+  builder.record(event(obs::EventKind::kFinish, 1, 5.0, 3.0));  // job 1 first
+  builder.record(event(obs::EventKind::kFinish, 0, 9.0, 7.0));
+  const auto& records = builder.trace().records;
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].job_id, 2u);
+  EXPECT_EQ(records[1].job_id, 1u);
+}
+
+TEST(SwfTraceBuilder, IgnoresSchedulerOnlyEvents) {
+  obs::SwfTraceBuilder builder;
+  builder.record(event(obs::EventKind::kArrival, 0, 0.0));
+  builder.record(event(obs::EventKind::kHeadOfQueue, 0, 1.0));
+  builder.record(event(obs::EventKind::kPlacementAttempt, 0, 1.0));
+  builder.record(event(obs::EventKind::kPlacementReject, 0, 1.0));
+  EXPECT_TRUE(builder.trace().records.empty());
+  EXPECT_EQ(builder.arrivals(), 1u);
+}
+
+TEST(SwfWriter, EncodesAllEighteenFields) {
+  SwfTrace trace;
+  TraceRecord rec;
+  rec.job_id = 3;
+  rec.submit_time = 1.5;
+  rec.wait_time = 2.5;
+  rec.run_time = 10.25;
+  rec.processors = 32;
+  rec.user_id = 4;
+  trace.records = {rec};
+  std::ostringstream out;
+  write_swf(out, trace);
+
+  std::istringstream fields(out.str());
+  std::vector<std::string> tokens;
+  for (std::string token; fields >> token;) tokens.push_back(token);
+  ASSERT_EQ(tokens.size(), 18u);
+  EXPECT_EQ(tokens[0], "3");      // job id
+  EXPECT_EQ(tokens[1], "1.5");    // submit
+  EXPECT_EQ(tokens[2], "2.5");    // wait
+  EXPECT_EQ(tokens[3], "10.25");  // run
+  EXPECT_EQ(tokens[4], "32");     // allocated processors
+  EXPECT_EQ(tokens[7], "32");     // requested processors
+  EXPECT_EQ(tokens[10], "1");     // status: completed
+  EXPECT_EQ(tokens[11], "4");     // user id
+  // Everything the simulator does not model is -1.
+  for (std::size_t i : {5u, 6u, 8u, 9u, 12u, 13u, 14u, 15u, 16u, 17u}) {
+    EXPECT_EQ(tokens[i], "-1") << "field " << i + 1;
+  }
+}
+
+TEST(SwfWriter, KilledJobsGetStatusFive) {
+  SwfTrace trace;
+  TraceRecord rec;
+  rec.job_id = 1;
+  rec.run_time = 900.0;  // the DAS working-hours cut
+  rec.processors = 1;
+  rec.killed_by_limit = true;
+  trace.records = {rec};
+  std::ostringstream out;
+  write_swf(out, trace);
+
+  std::istringstream fields(out.str());
+  std::vector<std::string> tokens;
+  for (std::string token; fields >> token;) tokens.push_back(token);
+  ASSERT_EQ(tokens.size(), 18u);
+  EXPECT_EQ(tokens[10], "5");
+
+  // And the reader maps status 5 back to killed_by_limit.
+  std::istringstream in(out.str());
+  const auto loaded = read_swf(in);
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_TRUE(loaded.records[0].killed_by_limit);
+  EXPECT_DOUBLE_EQ(loaded.records[0].run_time, 900.0);
+}
+
+TEST(SwfWriter, TimesRoundTripBitExactly) {
+  // Values with no short decimal representation survive write -> read.
+  SwfTrace trace;
+  TraceRecord rec;
+  rec.job_id = 1;
+  rec.submit_time = 1.0 / 3.0;
+  rec.wait_time = 2.0 / 7.0;
+  rec.run_time = 1e9 + 1.0 / 9.0;
+  rec.processors = 2;
+  trace.records = {rec};
+  std::stringstream buffer;
+  write_swf(buffer, trace);
+  const auto loaded = read_swf(buffer);
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records[0].submit_time, rec.submit_time);
+  EXPECT_EQ(loaded.records[0].wait_time, rec.wait_time);
+  EXPECT_EQ(loaded.records[0].run_time, rec.run_time);
+  EXPECT_EQ(loaded.records[0].response_time(), rec.response_time());
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -13,8 +13,8 @@ std::vector<TraceRecord> small_trace() {
     TraceRecord rec;
     rec.job_id = id;
     rec.submit_time = submit;
-    rec.start_time = start;
-    rec.end_time = end;
+    rec.wait_time = start - submit;
+    rec.run_time = end - start;
     rec.processors = procs;
     rec.user_id = user;
     records.push_back(rec);

@@ -11,8 +11,8 @@ TraceRecord sample_record() {
   TraceRecord rec;
   rec.job_id = 7;
   rec.submit_time = 100.0;
-  rec.start_time = 130.0;
-  rec.end_time = 430.0;
+  rec.wait_time = 30.0;   // starts at 130
+  rec.run_time = 300.0;   // ends at 430
   rec.processors = 16;
   rec.user_id = 3;
   rec.killed_by_limit = false;
@@ -36,9 +36,10 @@ TEST(Swf, RoundTripPreservesFields) {
   EXPECT_EQ(loaded.header_comments.size(), 2u);
   const auto& rec = loaded.records[0];
   EXPECT_EQ(rec.job_id, 7u);
-  EXPECT_NEAR(rec.submit_time, 100.0, 0.01);
-  EXPECT_NEAR(rec.start_time, 130.0, 0.01);
-  EXPECT_NEAR(rec.end_time, 430.0, 0.02);
+  // Exact: the writer prints %.17g, so doubles survive the round trip.
+  EXPECT_DOUBLE_EQ(rec.submit_time, 100.0);
+  EXPECT_DOUBLE_EQ(rec.start_time(), 130.0);
+  EXPECT_DOUBLE_EQ(rec.end_time(), 430.0);
   EXPECT_EQ(rec.processors, 16u);
   EXPECT_EQ(rec.user_id, 3u);
   EXPECT_FALSE(rec.killed_by_limit);
@@ -47,7 +48,8 @@ TEST(Swf, RoundTripPreservesFields) {
 
 TEST(Swf, DerivedQuantities) {
   const auto rec = sample_record();
-  EXPECT_DOUBLE_EQ(rec.wait_time(), 30.0);
+  EXPECT_DOUBLE_EQ(rec.start_time(), 130.0);
+  EXPECT_DOUBLE_EQ(rec.end_time(), 430.0);
   EXPECT_DOUBLE_EQ(rec.service_time(), 300.0);
   EXPECT_DOUBLE_EQ(rec.response_time(), 330.0);
 }
@@ -62,8 +64,8 @@ TEST(Swf, ParsesStandardFormatLine) {
   const auto& rec = trace.records[0];
   EXPECT_EQ(rec.job_id, 1u);
   EXPECT_DOUBLE_EQ(rec.submit_time, 0.0);
-  EXPECT_DOUBLE_EQ(rec.start_time, 10.0);
-  EXPECT_DOUBLE_EQ(rec.end_time, 370.0);
+  EXPECT_DOUBLE_EQ(rec.start_time(), 10.0);
+  EXPECT_DOUBLE_EQ(rec.end_time(), 370.0);
   EXPECT_EQ(rec.processors, 32u);
   EXPECT_EQ(rec.user_id, 5u);
 }
@@ -72,7 +74,7 @@ TEST(Swf, NegativeWaitAndRunAreClamped) {
   std::istringstream in("1 50 -1 -1 8 -1 -1 8 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n");
   const SwfTrace trace = read_swf(in);
   ASSERT_EQ(trace.records.size(), 1u);
-  EXPECT_DOUBLE_EQ(trace.records[0].start_time, 50.0);
+  EXPECT_DOUBLE_EQ(trace.records[0].start_time(), 50.0);
   EXPECT_DOUBLE_EQ(trace.records[0].service_time(), 0.0);
 }
 

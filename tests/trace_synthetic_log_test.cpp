@@ -40,7 +40,7 @@ TEST(SyntheticLog, SubmitTimesSortedAndWithinSpan) {
 
 TEST(SyntheticLog, StartNotBeforeSubmitAndPositiveService) {
   for (const auto& rec : shared_log().records) {
-    EXPECT_GE(rec.start_time, rec.submit_time);
+    EXPECT_GE(rec.start_time(), rec.submit_time);
     EXPECT_GT(rec.service_time(), 0.0);
   }
 }
@@ -90,8 +90,8 @@ TEST(SyntheticLog, FcfsReplayNeverOversubscribes) {
   };
   std::vector<Event> events;
   for (const auto& rec : shared_log().records) {
-    events.push_back({rec.start_time, static_cast<std::int32_t>(rec.processors)});
-    events.push_back({rec.end_time, -static_cast<std::int32_t>(rec.processors)});
+    events.push_back({rec.start_time(), static_cast<std::int32_t>(rec.processors)});
+    events.push_back({rec.end_time(), -static_cast<std::int32_t>(rec.processors)});
   }
   std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
     if (a.time != b.time) return a.time < b.time;

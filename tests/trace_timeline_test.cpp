@@ -10,8 +10,8 @@ namespace {
 TraceRecord job(double start, double end, std::uint32_t procs) {
   TraceRecord rec;
   rec.submit_time = start;
-  rec.start_time = start;
-  rec.end_time = end;
+  rec.wait_time = 0.0;
+  rec.run_time = end - start;
   rec.processors = procs;
   return rec;
 }

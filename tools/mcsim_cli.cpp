@@ -10,23 +10,35 @@
 //
 // Examples:
 //   mcsim point --policy=LS --utilization=0.55 --limit=16
+//   mcsim point --policy=GS --trace-out=run.swf --metrics-out=run.json
 //   mcsim sweep --policy=SC --from=0.3 --to=0.8 --step=0.05 --gnuplot=out/
 //   mcsim sweep --policy=LS --jobs=8          # 8 parallel runs, same output
 //   mcsim saturation --policy=GS --limit=24
-//   mcsim trace-gen --jobs=30000 --out=das1.swf --sessions
+//   mcsim trace-gen --sim-jobs=30000 --out=das1.swf --sessions
 //   mcsim trace-stats das1.swf
 //
 // sweep and replications fan their independent runs out over --jobs worker
 // threads (default: all hardware threads); results are bit-identical to a
 // serial run for every --jobs value.
+//
+// point can export the run through the observability layer
+// (docs/TRACING.md): --trace-out writes the realised schedule as an SWF
+// trace, --metrics-out writes the JSON run manifest (provenance, config,
+// results, collected metrics), --events-out dumps the most recent
+// lifecycle events in the binary ring format.
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/saturation.hpp"
 #include "exp/gnuplot.hpp"
+#include "exp/manifest.hpp"
 #include "exp/replications.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
+#include "obs/ring_recorder.hpp"
+#include "obs/swf_builder.hpp"
 #include "trace/swf.hpp"
 #include "trace/synthetic_log.hpp"
 #include "trace/timeline.hpp"
@@ -59,17 +71,89 @@ PaperScenario scenario_from(const CliParser& parser) {
   return scenario;
 }
 
+// argv here is the shifted subcommand view (argv[0] is the subcommand).
+std::string join_command_line(int argc, const char* const* argv) {
+  std::string joined = "mcsim";
+  for (int i = 0; i < argc; ++i) {
+    joined += ' ';
+    joined += argv[i];
+  }
+  return joined;
+}
+
 int cmd_point(int argc, const char* const* argv) {
   CliParser parser("mcsim point: one simulation at a target gross utilization");
   add_scenario_options(parser);
   parser.add_option("utilization", "0.5", "target gross utilization");
   parser.add_option("sim-jobs", "30000", "simulated jobs");
+  parser.add_option("trace-out", "", "write the realised schedule as an SWF trace");
+  parser.add_option("metrics-out", "", "write the JSON run manifest (config, metrics)");
+  parser.add_option("events-out", "", "dump recent lifecycle events (binary ring)");
+  parser.add_option("ring", "65536", "event ring capacity for --events-out");
   if (!parser.parse(argc, argv)) return 0;
 
   const auto scenario = scenario_from(parser);
-  const auto result = run_simulation(make_paper_config(
-      scenario, parser.get_double("utilization"), parser.get_uint("sim-jobs"),
-      parser.get_uint("seed")));
+  const auto config = make_paper_config(scenario, parser.get_double("utilization"),
+                                        parser.get_uint("sim-jobs"),
+                                        parser.get_uint("seed"));
+
+  const std::string trace_out = parser.get("trace-out");
+  const std::string metrics_out = parser.get("metrics-out");
+  const std::string events_out = parser.get("events-out");
+
+  MulticlusterSimulation simulation(config);
+  obs::RingRecorder recorder(parser.get_uint("ring"));
+  obs::SwfTraceBuilder builder;
+  obs::MetricsRegistry metrics;
+  if (!trace_out.empty()) {
+    recorder.add_emitter([&builder](const obs::TraceEvent& event) { builder.record(event); });
+  }
+  if (!trace_out.empty() || !events_out.empty()) simulation.set_trace_sink(&recorder);
+  if (!metrics_out.empty()) simulation.set_metrics(&metrics);
+
+  const auto result = simulation.run();
+
+  if (!trace_out.empty()) {
+    // Records stay in finish order: that is the order the engine folded
+    // each response time into its statistics, so a consumer re-reading the
+    // file reproduces them bit-exactly (docs/TRACING.md).
+    SwfTrace trace = builder.trace();
+    trace.header_comments = {
+        "mcsim realised schedule (" + scenario.label() + ")",
+        "Version: " + std::string(git_describe()),
+        "Command: " + join_command_line(argc, argv),
+        "Records are in job finish order; wait (field 4) and run (field 5)",
+        "reconstruct the engine's response times exactly.",
+    };
+    write_swf_file(trace_out, trace);
+    std::cout << "trace: " << trace.records.size() << " records -> " << trace_out << '\n';
+  }
+  if (!events_out.empty()) {
+    std::ofstream out(events_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "mcsim: cannot open " << events_out << '\n';
+      return 1;
+    }
+    recorder.write_binary(out);
+    std::cout << "events: " << recorder.size() << " of " << recorder.total_recorded()
+              << " recorded (" << recorder.dropped() << " dropped) -> " << events_out
+              << '\n';
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "mcsim: cannot open " << metrics_out << '\n';
+      return 1;
+    }
+    ManifestInfo info;
+    info.command_line = join_command_line(argc, argv);
+    info.trace_path = trace_out;
+    info.trace_records = builder.trace().records.size();
+    info.events_recorded = recorder.total_recorded();
+    info.events_dropped = recorder.dropped();
+    write_run_manifest(out, config, result, &metrics, info);
+    std::cout << "manifest -> " << metrics_out << '\n';
+  }
 
   TextTable table({"metric", "value"});
   table.add_row({"scenario", scenario.label()});
@@ -173,7 +257,9 @@ int cmd_replications(int argc, const char* const* argv) {
 
 int cmd_trace_gen(int argc, const char* const* argv) {
   CliParser parser("mcsim trace-gen: synthesise a DAS1-like workload log (SWF)");
-  parser.add_option("jobs", "30000", "jobs in the log");
+  // --sim-jobs, not --jobs: everywhere in the suite --jobs means worker
+  // threads and --sim-jobs means workload length (see README, CLI reference).
+  parser.add_option("sim-jobs", "30000", "jobs in the log");
   parser.add_option("days", "90", "log span in days");
   parser.add_option("out", "das1_synthetic.swf", "output SWF path");
   parser.add_option("seed", "20031128", "random seed");
@@ -181,7 +267,7 @@ int cmd_trace_gen(int argc, const char* const* argv) {
   if (!parser.parse(argc, argv)) return 0;
 
   SyntheticLogConfig config;
-  config.num_jobs = parser.get_uint("jobs");
+  config.num_jobs = parser.get_uint("sim-jobs");
   config.duration_seconds = parser.get_double("days") * 86400.0;
   config.seed = parser.get_uint("seed");
   config.user_sessions = parser.get_flag("sessions");
