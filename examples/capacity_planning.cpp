@@ -3,11 +3,16 @@
 // given policy and component-size limit, and how much of it is lost to
 // wide-area communication?"
 //
+// The machine and workload are described as a ScenarioSpec in saturation
+// mode — the same vocabulary `mcsim run` executes — and turned into the
+// estimator's config with exp::to_saturation_config.
+//
 //   $ ./examples/capacity_planning --clusters=4 --cluster-size=32 --limit=16
 //   $ ./examples/capacity_planning --policy=SC
 #include <iostream>
 
 #include "core/saturation.hpp"
+#include "exp/scenario_spec.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -25,22 +30,21 @@ int main(int argc, char** argv) {
   parser.add_option("seed", "5", "master random seed");
   if (!parser.parse(argc, argv)) return 0;
 
-  SaturationConfig config;
-  config.policy = parse_policy(parser.get("policy"));
   const auto clusters = static_cast<std::uint32_t>(parser.get_uint("clusters"));
   const auto cluster_size = static_cast<std::uint32_t>(parser.get_uint("cluster-size"));
-  const bool single = is_single_cluster_policy(config.policy);
-  config.cluster_sizes.assign(single ? 1 : clusters,
-                              single ? clusters * cluster_size : cluster_size);
-  config.workload.size_distribution = das_s_128();
-  config.workload.service_distribution = das_t_900();
-  config.workload.component_limit = static_cast<std::uint32_t>(parser.get_uint("limit"));
-  config.workload.num_clusters = single ? 1 : clusters;
-  config.workload.extension_factor = parser.get_double("extension");
-  config.workload.split_jobs = !single;
-  config.total_completions = parser.get_uint("completions");
-  config.seed = parser.get_uint("seed");
 
+  exp::ScenarioSpec spec;
+  spec.mode = exp::RunMode::kSaturation;
+  spec.policy = parse_policy_kind(parser.get("policy"));
+  const bool single = is_single_cluster_policy(spec.policy);
+  spec.cluster_sizes.assign(single ? 1 : clusters,
+                            single ? clusters * cluster_size : cluster_size);
+  spec.component_limit = static_cast<std::uint32_t>(parser.get_uint("limit"));
+  spec.extension_factor = parser.get_double("extension");
+  spec.saturation_completions = parser.get_uint("completions");
+  spec.seed = parser.get_uint("seed");
+
+  const auto config = exp::to_saturation_config(spec);
   const auto result = run_saturation(config);
 
   std::uint32_t total = 0;

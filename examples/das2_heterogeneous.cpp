@@ -1,17 +1,20 @@
 // Beyond the paper's homogeneous 4x32 study: the REAL DAS2 layout — five
 // clusters, one with 72 dual-processor nodes and four with 32 (Sect. 2.1)
-// — scheduled with LS and co-allocation. Shows the library's heterogeneous
-// machine support and how cluster asymmetry shifts load.
+// — scheduled with LS and co-allocation. Shows how a non-default system is
+// described as a ScenarioSpec (custom layout + per-cluster submission
+// weights) and run through the same build path as `mcsim run`; pass
+// --emit-spec to write the scenario file instead of simulating.
 //
 //   $ ./examples/das2_heterogeneous --utilization=0.5
+//   $ ./examples/das2_heterogeneous --emit-spec=das2.json && mcsim run das2.json
+#include <fstream>
 #include <iostream>
 
-#include "core/engine.hpp"
+#include "exp/scenario_spec.hpp"
 #include "util/assert.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
-#include "workload/das_workload.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcsim;
@@ -21,27 +24,32 @@ int main(int argc, char** argv) {
   parser.add_option("sim-jobs", "30000", "simulated jobs");
   parser.add_option("policy", "LS", "GS, LS or LP");
   parser.add_option("seed", "11", "master random seed");
+  parser.add_option("emit-spec", "", "write the scenario file and exit");
   if (!parser.parse(argc, argv)) return 0;
 
-  const std::vector<std::uint32_t> das2_layout = {72, 32, 32, 32, 32};
-
-  SimulationConfig config;
-  config.policy = parse_policy(parser.get("policy"));
-  MCSIM_REQUIRE(!is_single_cluster_policy(config.policy),
+  // The whole experiment as one declarative spec (docs/SCENARIOS.md).
+  exp::ScenarioSpec spec;
+  spec.name = "DAS2 heterogeneous layout (72+4x32)";
+  spec.policy = parse_policy_kind(parser.get("policy"));
+  MCSIM_REQUIRE(!is_single_cluster_policy(spec.policy),
                 "this example models the multicluster; use SC elsewhere");
-  config.cluster_sizes = das2_layout;
-  config.workload.size_distribution = das_s_128();
-  config.workload.service_distribution = das_t_900();
-  config.workload.component_limit = static_cast<std::uint32_t>(parser.get_uint("limit"));
-  config.workload.num_clusters = static_cast<std::uint32_t>(das2_layout.size());
-  config.workload.extension_factor = das::kExtensionFactor;
+  spec.cluster_sizes = {72, 32, 32, 32, 32};
   // Submissions proportional to cluster size, as users submit locally.
-  config.workload.queue_weights = {72.0, 32.0, 32.0, 32.0, 32.0};
-  config.workload.arrival_rate = config.workload.rate_for_gross_utilization(
-      parser.get_double("utilization"), config.total_processors());
-  config.total_jobs = parser.get_uint("sim-jobs");
-  config.seed = parser.get_uint("seed");
+  spec.queue_weights = {72.0, 32.0, 32.0, 32.0, 32.0};
+  spec.component_limit = static_cast<std::uint32_t>(parser.get_uint("limit"));
+  spec.utilization = parser.get_double("utilization");
+  spec.sim_jobs = parser.get_uint("sim-jobs");
+  spec.seed = parser.get_uint("seed");
 
+  if (const std::string path = parser.get("emit-spec"); !path.empty()) {
+    std::ofstream out(path);
+    MCSIM_REQUIRE(static_cast<bool>(out), "cannot open " + path);
+    exp::write_scenario_file(out, spec);
+    std::cout << "scenario -> " << path << "  (execute with: mcsim run " << path << ")\n";
+    return 0;
+  }
+
+  const auto config = exp::to_simulation_config(spec);
   const auto result = run_simulation(config);
 
   std::cout << "DAS2 layout: 72 + 32 + 32 + 32 + 32 = " << config.total_processors()

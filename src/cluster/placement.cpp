@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/assert.hpp"
+#include "util/strings.hpp"
 
 namespace mcsim {
 
@@ -14,6 +15,21 @@ const char* placement_rule_name(PlacementRule rule) {
     case PlacementRule::kBestFit: return "BF";
   }
   return "?";
+}
+
+PlacementRule parse_placement_rule(const std::string& name) {
+  const std::string lower = to_lower(name);
+  if (lower == "wf" || lower == "worst-fit" || lower == "worstfit") {
+    return PlacementRule::kWorstFit;
+  }
+  if (lower == "ff" || lower == "first-fit" || lower == "firstfit") {
+    return PlacementRule::kFirstFit;
+  }
+  if (lower == "bf" || lower == "best-fit" || lower == "bestfit") {
+    return PlacementRule::kBestFit;
+  }
+  MCSIM_REQUIRE(false, "unknown placement rule: " + name + " (expected WF, FF, or BF)");
+  return PlacementRule::kWorstFit;
 }
 
 namespace {

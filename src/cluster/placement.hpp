@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cluster/multicluster.hpp"
@@ -22,6 +23,9 @@ namespace mcsim {
 enum class PlacementRule { kWorstFit, kFirstFit, kBestFit };
 
 const char* placement_rule_name(PlacementRule rule);
+/// Parse a placement-rule name ("WF", "ff", "best-fit", ...;
+/// case-insensitive). Throws std::invalid_argument on anything else.
+PlacementRule parse_placement_rule(const std::string& name);
 
 /// Try to place `components` (must be non-increasing) on distinct clusters
 /// given per-cluster idle counts. Returns std::nullopt if the request does

@@ -14,8 +14,48 @@ std::uint32_t SimulationConfig::total_processors() const {
   return total;
 }
 
+void SimulationConfig::validate() const {
+  MCSIM_REQUIRE(!cluster_sizes.empty(), "config: cluster_sizes must name at least one cluster");
+  for (std::uint32_t size : cluster_sizes) {
+    MCSIM_REQUIRE(size > 0, "config: every cluster needs at least one processor");
+  }
+  MCSIM_REQUIRE(cluster_speeds.empty() || cluster_speeds.size() == cluster_sizes.size(),
+                "config: cluster_speeds has " + std::to_string(cluster_speeds.size()) +
+                    " entries but cluster_sizes has " +
+                    std::to_string(cluster_sizes.size()) +
+                    " (leave speeds empty for a homogeneous system)");
+  for (double speed : cluster_speeds) {
+    MCSIM_REQUIRE(speed > 0.0, "config: cluster speeds must be positive");
+  }
+  MCSIM_REQUIRE(total_jobs > 0, "config: total_jobs must be positive");
+  MCSIM_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+                "config: warmup_fraction must be in [0,1), got " +
+                    std::to_string(warmup_fraction));
+  MCSIM_REQUIRE(batch_count > 0, "config: batch_count must be positive");
+  MCSIM_REQUIRE(workload.arrival_rate > 0.0, "config: arrival_rate must be positive");
+  MCSIM_REQUIRE(workload.extension_factor >= 1.0,
+                "config: extension_factor must be >= 1");
+  MCSIM_REQUIRE(instability_backlog_fraction >= 0.0 && instability_backlog_fraction <= 1.0,
+                "config: instability_backlog_fraction must be in [0,1]");
+  if (is_single_cluster_policy(policy)) {
+    MCSIM_REQUIRE(cluster_sizes.size() == 1, "config: SC runs on a single cluster");
+    MCSIM_REQUIRE(!workload.split_jobs,
+                  "config: SC uses total requests (split_jobs = false)");
+  } else {
+    MCSIM_REQUIRE(workload.num_clusters == cluster_sizes.size(),
+                  "config: workload.num_clusters (" +
+                      std::to_string(workload.num_clusters) +
+                      ") disagrees with the system layout (" +
+                      std::to_string(cluster_sizes.size()) + " clusters)");
+  }
+}
+
 namespace {
+// Validates first: the engine's members (Multicluster, WorkloadGenerator)
+// are constructed from the config in the init list, so the config-level
+// checks must fire before any of them can trip on garbage.
 Multicluster make_system(const SimulationConfig& config) {
+  config.validate();
   if (config.cluster_speeds.empty()) return Multicluster(config.cluster_sizes);
   return Multicluster(config.cluster_sizes, config.cluster_speeds);
 }
@@ -26,16 +66,6 @@ MulticlusterSimulation::MulticlusterSimulation(SimulationConfig config)
       system_(make_system(config_)),
       generator_(config_.workload, config_.seed),
       utilization_(system_.total_processors(), 0.0) {
-  MCSIM_REQUIRE(config_.total_jobs > 0, "simulation needs jobs");
-  MCSIM_REQUIRE(config_.warmup_fraction >= 0.0 && config_.warmup_fraction < 1.0,
-                "warmup fraction must be in [0,1)");
-  if (is_single_cluster_policy(config_.policy)) {
-    MCSIM_REQUIRE(system_.num_clusters() == 1, "SC runs on a single cluster");
-    MCSIM_REQUIRE(!config_.workload.split_jobs, "SC uses total requests (split_jobs = false)");
-  } else {
-    MCSIM_REQUIRE(config_.workload.num_clusters == system_.num_clusters(),
-                  "workload and system disagree on the number of clusters");
-  }
   scheduler_ = make_scheduler(config_.policy, *this, config_.placement, config_.backfill,
                               config_.discipline);
   queue_length_.start(0.0, 0.0);

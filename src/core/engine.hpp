@@ -56,6 +56,13 @@ struct SimulationConfig {
   std::uint64_t batch_count = 20;
 
   [[nodiscard]] std::uint32_t total_processors() const;
+
+  /// Check the config for internal consistency (cluster layout non-empty
+  /// and non-degenerate, speeds aligned with sizes, fractions in range,
+  /// positive run lengths and rates). Throws std::invalid_argument with a
+  /// message naming the offending field; called by the engine constructor,
+  /// so a bad config can never silently misbehave.
+  void validate() const;
 };
 
 struct SimulationResult {

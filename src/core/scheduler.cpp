@@ -1,6 +1,7 @@
 #include "core/scheduler.hpp"
 
 #include "util/assert.hpp"
+#include "util/strings.hpp"
 
 namespace mcsim {
 
@@ -13,6 +14,18 @@ const char* backfill_mode_name(BackfillMode mode) {
   return "?";
 }
 
+BackfillMode parse_backfill_mode(const std::string& name) {
+  const std::string lower = to_lower(name);
+  // backfill_mode_name(kNone) prints "fcfs" (no backfilling = plain FCFS),
+  // so both spellings must parse back to kNone for the round trip to hold.
+  if (lower == "none" || lower == "fcfs") return BackfillMode::kNone;
+  if (lower == "aggressive" || lower == "aggressive-bf") return BackfillMode::kAggressive;
+  if (lower == "easy" || lower == "easy-bf") return BackfillMode::kEasy;
+  MCSIM_REQUIRE(false, "unknown backfill mode: " + name +
+                           " (expected none, aggressive, or easy)");
+  return BackfillMode::kNone;
+}
+
 const char* queue_discipline_name(QueueDiscipline discipline) {
   switch (discipline) {
     case QueueDiscipline::kFcfs: return "fcfs";
@@ -22,6 +35,22 @@ const char* queue_discipline_name(QueueDiscipline discipline) {
     case QueueDiscipline::kLargestFirst: return "largest-first";
   }
   return "?";
+}
+
+QueueDiscipline parse_queue_discipline(const std::string& name) {
+  const std::string lower = to_lower(name);
+  if (lower == "fcfs") return QueueDiscipline::kFcfs;
+  if (lower == "sjf" || lower == "shortest-job-first") {
+    return QueueDiscipline::kShortestJobFirst;
+  }
+  if (lower == "ljf" || lower == "longest-job-first") {
+    return QueueDiscipline::kLongestJobFirst;
+  }
+  if (lower == "smallest-first") return QueueDiscipline::kSmallestFirst;
+  if (lower == "largest-first") return QueueDiscipline::kLargestFirst;
+  MCSIM_REQUIRE(false, "unknown queue discipline: " + name +
+                           " (expected fcfs, sjf, ljf, smallest-first, or largest-first)");
+  return QueueDiscipline::kFcfs;
 }
 
 JobOrder make_job_order(QueueDiscipline discipline) {

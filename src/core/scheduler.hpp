@@ -28,6 +28,9 @@ enum class BackfillMode : std::uint8_t {
 };
 
 const char* backfill_mode_name(BackfillMode mode);
+/// Parse a backfill-mode name ("none"/"fcfs", "aggressive[-bf]",
+/// "easy[-bf]"; case-insensitive). Throws std::invalid_argument otherwise.
+BackfillMode parse_backfill_mode(const std::string& name);
 
 /// Service order within the global queue (extension; the paper is FCFS).
 enum class QueueDiscipline : std::uint8_t {
@@ -39,6 +42,10 @@ enum class QueueDiscipline : std::uint8_t {
 };
 
 const char* queue_discipline_name(QueueDiscipline discipline);
+/// Parse a queue-discipline name ("fcfs", "sjf", "ljf", "smallest-first",
+/// "largest-first"; case-insensitive). Throws std::invalid_argument
+/// otherwise.
+QueueDiscipline parse_queue_discipline(const std::string& name);
 
 /// The JobQueue ordering for a discipline (nullptr for FCFS).
 JobOrder make_job_order(QueueDiscipline discipline);

@@ -18,7 +18,7 @@ const char* policy_name(PolicyKind kind) {
   return "?";
 }
 
-PolicyKind parse_policy(const std::string& name) {
+PolicyKind parse_policy_kind(const std::string& name) {
   const std::string lower = to_lower(name);
   if (lower == "gs") return PolicyKind::kGS;
   if (lower == "ls") return PolicyKind::kLS;

@@ -3,6 +3,7 @@
 #include "cluster/placement.hpp"
 #include "core/scheduler.hpp"
 #include "core/scheduler_factory.hpp"
+#include "exp/scenario_spec.hpp"
 #include "obs/json.hpp"
 #include "workload/request.hpp"
 
@@ -141,6 +142,11 @@ void write_run_manifest(std::ostream& out, const SimulationConfig& config,
   write_config(json, config);
   json.key("result");
   write_result(json, result);
+
+  if (info.scenario != nullptr) {
+    json.key("scenario");
+    exp::write_scenario_json(json, *info.scenario);
+  }
 
   if (!info.trace_path.empty() || info.events_recorded > 0) {
     json.key("trace").begin_object();

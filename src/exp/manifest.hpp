@@ -20,6 +20,10 @@
 
 namespace mcsim {
 
+namespace exp {
+struct ScenarioSpec;
+}  // namespace exp
+
 /// Version of the manifest JSON layout. Bump on any key rename/removal;
 /// adding keys is backward-compatible and needs no bump.
 inline constexpr std::int64_t kManifestSchemaVersion = 1;
@@ -40,6 +44,11 @@ struct ManifestInfo {
   /// Lifecycle events recorded / dropped by the ring recorder.
   std::uint64_t events_recorded = 0;
   std::uint64_t events_dropped = 0;
+  /// When set, the manifest embeds this spec verbatim as its "scenario"
+  /// object, which is what makes the manifest replayable: `mcsim rerun
+  /// manifest.json` rebuilds the identical run from it (exp::load_scenario
+  /// accepts manifests directly).
+  const exp::ScenarioSpec* scenario = nullptr;
 };
 
 /// Write the manifest for one run as a JSON document. `metrics` may be

@@ -1,6 +1,7 @@
 #include "exp/replications.hpp"
 
 #include "exp/runner.hpp"
+#include "exp/scenario_spec.hpp"
 #include "stats/welford.hpp"
 #include "util/assert.hpp"
 
@@ -11,12 +12,23 @@ ReplicationResult run_replications(const PaperScenario& scenario,
                                    std::uint64_t jobs_per_replication,
                                    std::uint32_t replications, std::uint64_t base_seed,
                                    unsigned parallelism) {
-  MCSIM_REQUIRE(replications > 0, "need at least one replication");
-  exp::Runner runner(parallelism);
-  const auto runs = runner.map(replications, [&](std::size_t r) {
-    return run_simulation(make_paper_config(scenario, target_gross_utilization,
-                                            jobs_per_replication,
-                                            base_seed + static_cast<std::uint64_t>(r)));
+  exp::ScenarioSpec spec = exp::ScenarioSpec::from_paper(scenario);
+  spec.mode = exp::RunMode::kReplications;
+  spec.utilization = target_gross_utilization;
+  spec.sim_jobs = jobs_per_replication;
+  spec.replications = replications;
+  spec.seed = base_seed;
+  spec.parallelism = parallelism;
+  return run_replications(spec);
+}
+
+ReplicationResult run_replications(const exp::ScenarioSpec& spec) {
+  MCSIM_REQUIRE(spec.replications > 0, "need at least one replication");
+  exp::Runner runner(spec.parallelism);
+  const auto runs = runner.map(spec.replications, [&](std::size_t r) {
+    exp::ScenarioSpec replication = spec;
+    replication.seed = spec.seed + static_cast<std::uint64_t>(r);
+    return run_simulation(exp::to_simulation_config(replication, spec.utilization));
   });
 
   // Fold in replication order so the accumulated statistics (and their

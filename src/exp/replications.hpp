@@ -13,6 +13,10 @@
 
 namespace mcsim {
 
+namespace exp {
+struct ScenarioSpec;
+}  // namespace exp
+
 struct ReplicationResult {
   /// Per-replication mean responses (one entry per stable replication).
   std::vector<double> replication_means;
@@ -39,5 +43,12 @@ ReplicationResult run_replications(const PaperScenario& scenario,
                                    std::uint32_t replications,
                                    std::uint64_t base_seed = 1,
                                    unsigned parallelism = 1);
+
+/// Replication set described entirely by a spec (mode kReplications):
+/// utilization, jobs, replication count, base seed and parallelism all come
+/// from the spec; replication r runs with seed spec.seed + r through
+/// exp::to_simulation_config. The PaperScenario overload is a thin
+/// translator onto this one.
+ReplicationResult run_replications(const exp::ScenarioSpec& spec);
 
 }  // namespace mcsim

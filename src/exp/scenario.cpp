@@ -1,7 +1,6 @@
 #include "exp/scenario.hpp"
 
-#include "util/strings.hpp"
-#include "workload/das_workload.hpp"
+#include "exp/scenario_spec.hpp"
 
 namespace mcsim {
 
@@ -13,59 +12,26 @@ std::string PaperScenario::label() const {
   return label;
 }
 
-namespace {
-
-WorkloadConfig make_workload(const PaperScenario& scenario) {
-  const bool single_cluster = is_single_cluster_policy(scenario.policy);
-  WorkloadConfig workload{
-      .size_distribution = scenario.limit_total_size_64 ? das_s_64() : das_s_128(),
-      .service_distribution = das_t_900(),
-      .component_limit = scenario.component_limit,
-      .num_clusters = single_cluster ? 1u : das::kNumClusters,
-      .extension_factor = scenario.extension_factor,
-      .arrival_rate = 1.0,  // overwritten by the caller
-      .queue_weights = {},
-      .split_jobs = !single_cluster,
-  };
-  if (!single_cluster && !scenario.balanced_queues) {
-    workload.queue_weights.assign(das::kUnbalancedWeights.begin(),
-                                  das::kUnbalancedWeights.end());
-  }
-  return workload;
-}
-
-std::vector<std::uint32_t> make_layout(const PaperScenario& scenario) {
-  if (is_single_cluster_policy(scenario.policy)) return {das::kTotalProcessors};
-  return std::vector<std::uint32_t>(das::kNumClusters, das::kClusterSize);
-}
-
-}  // namespace
+// Both helpers are thin translators onto the ScenarioSpec construction
+// path — the single place workload/layout building lives now — so a
+// PaperScenario run and the equivalent scenario file are bit-identical.
 
 SimulationConfig make_paper_config(const PaperScenario& scenario,
                                    double target_gross_utilization, std::uint64_t total_jobs,
                                    std::uint64_t seed) {
-  SimulationConfig config;
-  config.policy = scenario.policy;
-  config.cluster_sizes = make_layout(scenario);
-  config.workload = make_workload(scenario);
-  config.workload.arrival_rate = config.workload.rate_for_gross_utilization(
-      target_gross_utilization, config.total_processors());
-  config.placement = scenario.placement;
-  config.seed = seed;
-  config.total_jobs = total_jobs;
-  return config;
+  exp::ScenarioSpec spec = exp::ScenarioSpec::from_paper(scenario);
+  spec.sim_jobs = total_jobs;
+  spec.seed = seed;
+  return exp::to_simulation_config(spec, target_gross_utilization);
 }
 
 SaturationConfig make_saturation_config(const PaperScenario& scenario,
                                         std::uint64_t total_completions, std::uint64_t seed) {
-  SaturationConfig config;
-  config.policy = scenario.policy;
-  config.cluster_sizes = make_layout(scenario);
-  config.workload = make_workload(scenario);
-  config.placement = scenario.placement;
-  config.seed = seed;
-  config.total_completions = total_completions;
-  return config;
+  exp::ScenarioSpec spec = exp::ScenarioSpec::from_paper(scenario);
+  spec.mode = exp::RunMode::kSaturation;
+  spec.saturation_completions = total_completions;
+  spec.seed = seed;
+  return exp::to_saturation_config(spec);
 }
 
 }  // namespace mcsim

@@ -1,0 +1,497 @@
+#include "exp/scenario_spec.hpp"
+
+#include <ostream>
+
+#include "exp/sweep.hpp"
+#include "obs/json.hpp"
+#include "obs/json_reader.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+#include "workload/das_workload.hpp"
+
+namespace mcsim::exp {
+
+const char* run_mode_name(RunMode mode) {
+  switch (mode) {
+    case RunMode::kPoint: return "point";
+    case RunMode::kSweep: return "sweep";
+    case RunMode::kSaturation: return "saturation";
+    case RunMode::kReplications: return "replications";
+  }
+  return "?";
+}
+
+RunMode parse_run_mode(const std::string& name) {
+  const std::string lower = to_lower(name);
+  if (lower == "point") return RunMode::kPoint;
+  if (lower == "sweep") return RunMode::kSweep;
+  if (lower == "saturation") return RunMode::kSaturation;
+  if (lower == "replications") return RunMode::kReplications;
+  MCSIM_REQUIRE(false, "unknown run mode: " + name +
+                           " (expected point, sweep, saturation, or replications)");
+  return RunMode::kPoint;
+}
+
+namespace {
+
+// "none"/"aggressive"/"easy" — backfill_mode_name(kNone) prints "fcfs",
+// which is ambiguous with the discipline key in a scenario file.
+const char* backfill_json_name(BackfillMode mode) {
+  switch (mode) {
+    case BackfillMode::kNone: return "none";
+    case BackfillMode::kAggressive: return "aggressive";
+    case BackfillMode::kEasy: return "easy";
+  }
+  return "?";
+}
+
+DiscreteDistribution size_distribution_for(const std::string& model) {
+  if (model == "das-s-128") return das_s_128();
+  if (model == "das-s-64") return das_s_64();
+  MCSIM_REQUIRE(false, "scenario: unknown size_model \"" + model +
+                           "\" (expected das-s-128 or das-s-64)");
+  return das_s_128();
+}
+
+std::vector<std::uint32_t> effective_layout(const ScenarioSpec& spec) {
+  if (!spec.cluster_sizes.empty()) return spec.cluster_sizes;
+  if (is_single_cluster_policy(spec.policy)) return {das::kTotalProcessors};
+  return std::vector<std::uint32_t>(das::kNumClusters, das::kClusterSize);
+}
+
+// The one workload-construction path. Field-for-field identical to what
+// the historical PaperScenario helper produced for paper scenarios — the
+// bit-identity of legacy CLI flags vs. scenario files rests on this.
+WorkloadConfig make_workload(const ScenarioSpec& spec, std::size_t num_clusters) {
+  const bool single_cluster = is_single_cluster_policy(spec.policy);
+  WorkloadConfig workload{
+      .size_distribution = size_distribution_for(spec.size_model),
+      .service_distribution = das_t_900(),
+      .component_limit = spec.component_limit,
+      .num_clusters =
+          single_cluster ? 1u : static_cast<std::uint32_t>(num_clusters),
+      .extension_factor = spec.extension_factor,
+      .arrival_rate = 1.0,  // overwritten by the caller
+      .queue_weights = {},
+      .split_jobs = !single_cluster,
+  };
+  workload.request_type = spec.request_type;
+  if (!single_cluster) {
+    if (!spec.queue_weights.empty()) {
+      workload.queue_weights = spec.queue_weights;
+    } else if (!spec.balanced_queues) {
+      workload.queue_weights.assign(das::kUnbalancedWeights.begin(),
+                                    das::kUnbalancedWeights.end());
+    }
+  }
+  return workload;
+}
+
+}  // namespace
+
+std::string ScenarioSpec::label() const {
+  if (!name.empty()) return name;
+  std::string label = paper_scenario().label();
+  if (backfill != BackfillMode::kNone) {
+    label += std::string(" ") + backfill_mode_name(backfill);
+  }
+  if (discipline != QueueDiscipline::kFcfs) {
+    label += std::string(" ") + queue_discipline_name(discipline);
+  }
+  return label;
+}
+
+PaperScenario ScenarioSpec::paper_scenario() const {
+  PaperScenario scenario;
+  scenario.policy = policy;
+  scenario.component_limit = component_limit;
+  scenario.balanced_queues = balanced_queues;
+  scenario.limit_total_size_64 = (size_model == "das-s-64");
+  scenario.extension_factor = extension_factor;
+  scenario.placement = placement;
+  return scenario;
+}
+
+std::vector<double> ScenarioSpec::sweep_grid() const {
+  if (!utilization_grid.empty()) return utilization_grid;
+  return SweepConfig::grid(sweep_from, sweep_to, sweep_step);
+}
+
+ScenarioSpec ScenarioSpec::from_paper(const PaperScenario& scenario) {
+  ScenarioSpec spec;
+  spec.policy = scenario.policy;
+  spec.component_limit = scenario.component_limit;
+  spec.balanced_queues = scenario.balanced_queues;
+  spec.size_model = scenario.limit_total_size_64 ? "das-s-64" : "das-s-128";
+  spec.extension_factor = scenario.extension_factor;
+  spec.placement = scenario.placement;
+  return spec;
+}
+
+void validate(const ScenarioSpec& spec) {
+  size_distribution_for(spec.size_model);  // throws on unknown models
+  MCSIM_REQUIRE(spec.component_limit > 0, "scenario: component_limit must be positive");
+  MCSIM_REQUIRE(spec.extension_factor >= 1.0,
+                "scenario: extension_factor must be >= 1");
+  for (std::uint32_t size : spec.cluster_sizes) {
+    MCSIM_REQUIRE(size > 0, "scenario: every cluster needs at least one processor");
+  }
+  const auto layout = effective_layout(spec);
+  const bool single_cluster = is_single_cluster_policy(spec.policy);
+  if (single_cluster) {
+    MCSIM_REQUIRE(layout.size() == 1, "scenario: SC runs on a single cluster");
+    MCSIM_REQUIRE(spec.queue_weights.empty(),
+                  "scenario: SC has one queue; queue_weights does not apply");
+  } else {
+    MCSIM_REQUIRE(
+        spec.queue_weights.empty() || spec.queue_weights.size() == layout.size(),
+        "scenario: queue_weights has " + std::to_string(spec.queue_weights.size()) +
+            " entries for " + std::to_string(layout.size()) + " clusters");
+    MCSIM_REQUIRE(spec.balanced_queues || !spec.queue_weights.empty() ||
+                      layout.size() == das::kNumClusters,
+                  "scenario: the derived unbalanced weights are the DAS "
+                  "40/20/20/20 split; give explicit queue_weights for a " +
+                      std::to_string(layout.size()) + "-cluster system");
+  }
+  double weight_sum = 0.0;
+  for (double weight : spec.queue_weights) {
+    MCSIM_REQUIRE(weight >= 0.0, "scenario: queue_weights must be non-negative");
+    weight_sum += weight;
+  }
+  MCSIM_REQUIRE(spec.queue_weights.empty() || weight_sum > 0.0,
+                "scenario: queue_weights must not all be zero");
+  MCSIM_REQUIRE(
+      spec.cluster_speeds.empty() || spec.cluster_speeds.size() == layout.size(),
+      "scenario: cluster_speeds has " + std::to_string(spec.cluster_speeds.size()) +
+          " entries for " + std::to_string(layout.size()) + " clusters");
+  for (double speed : spec.cluster_speeds) {
+    MCSIM_REQUIRE(speed > 0.0, "scenario: cluster speeds must be positive");
+  }
+  const bool single_queue =
+      spec.policy == PolicyKind::kGS || spec.policy == PolicyKind::kSC;
+  MCSIM_REQUIRE(spec.backfill == BackfillMode::kNone || single_queue,
+                "scenario: backfilling applies to the single-queue policies (GS, SC)");
+  MCSIM_REQUIRE(spec.discipline == QueueDiscipline::kFcfs || single_queue,
+                "scenario: queue disciplines apply to the single-queue policies (GS, SC)");
+  MCSIM_REQUIRE(spec.warmup_fraction >= 0.0 && spec.warmup_fraction < 1.0,
+                "scenario: warmup_fraction must be in [0,1)");
+  MCSIM_REQUIRE(spec.batch_count > 0, "scenario: batch_count must be positive");
+  switch (spec.mode) {
+    case RunMode::kPoint:
+    case RunMode::kReplications:
+      MCSIM_REQUIRE(spec.utilization > 0.0,
+                    "scenario: utilization must be positive");
+      MCSIM_REQUIRE(spec.sim_jobs > 0, "scenario: sim_jobs must be positive");
+      if (spec.mode == RunMode::kReplications) {
+        MCSIM_REQUIRE(spec.replications > 0,
+                      "scenario: replications must be positive");
+      }
+      break;
+    case RunMode::kSweep: {
+      const auto grid = spec.sweep_grid();  // throws on a non-positive step
+      MCSIM_REQUIRE(!grid.empty(), "scenario: the sweep grid is empty");
+      for (double utilization : grid) {
+        MCSIM_REQUIRE(utilization > 0.0,
+                      "scenario: sweep utilizations must be positive");
+      }
+      MCSIM_REQUIRE(spec.sim_jobs > 0, "scenario: sim_jobs must be positive");
+      break;
+    }
+    case RunMode::kSaturation:
+      MCSIM_REQUIRE(spec.saturation_completions > 0,
+                    "scenario: saturation completions must be positive");
+      MCSIM_REQUIRE(spec.saturation_backlog > 0,
+                    "scenario: saturation backlog must be positive");
+      MCSIM_REQUIRE(spec.cluster_speeds.empty(),
+                    "scenario: the saturation estimator does not support "
+                    "heterogeneous speeds");
+      break;
+  }
+}
+
+SimulationConfig to_simulation_config(const ScenarioSpec& spec) {
+  return to_simulation_config(spec, spec.utilization);
+}
+
+SimulationConfig to_simulation_config(const ScenarioSpec& spec, double utilization) {
+  validate(spec);
+  SimulationConfig config;
+  config.policy = spec.policy;
+  config.cluster_sizes = effective_layout(spec);
+  config.cluster_speeds = spec.cluster_speeds;
+  config.workload = make_workload(spec, config.cluster_sizes.size());
+  config.workload.arrival_rate = config.workload.rate_for_gross_utilization(
+      utilization, config.total_processors());
+  config.placement = spec.placement;
+  config.backfill = spec.backfill;
+  config.discipline = spec.discipline;
+  config.seed = spec.seed;
+  config.total_jobs = spec.sim_jobs;
+  config.warmup_fraction = spec.warmup_fraction;
+  config.batch_count = spec.batch_count;
+  return config;
+}
+
+SaturationConfig to_saturation_config(const ScenarioSpec& spec) {
+  validate(spec);
+  SaturationConfig config;
+  config.policy = spec.policy;
+  config.cluster_sizes = effective_layout(spec);
+  config.workload = make_workload(spec, config.cluster_sizes.size());
+  config.placement = spec.placement;
+  config.seed = spec.seed;
+  config.backlog = spec.saturation_backlog;
+  config.total_completions = spec.saturation_completions;
+  // SaturationConfig keeps its own warmup default (0.2): the constant-
+  // backlog estimator warms up differently from a steady-state run.
+  return config;
+}
+
+std::unique_ptr<MulticlusterSimulation> build_simulation(const ScenarioSpec& spec) {
+  return std::make_unique<MulticlusterSimulation>(to_simulation_config(spec));
+}
+
+void write_scenario_json(obs::JsonWriter& json, const ScenarioSpec& spec) {
+  json.begin_object();
+  json.key("schema").value("mcsim-scenario");
+  json.key("schema_version").value(ScenarioSpec::kSchemaVersion);
+  if (!spec.name.empty()) json.key("name").value(spec.name);
+
+  json.key("system").begin_object();
+  if (!spec.cluster_sizes.empty()) {
+    json.key("cluster_sizes").begin_array();
+    for (std::uint32_t size : spec.cluster_sizes) {
+      json.value(static_cast<std::uint64_t>(size));
+    }
+    json.end_array();
+  }
+  if (!spec.cluster_speeds.empty()) {
+    json.key("cluster_speeds").begin_array();
+    for (double speed : spec.cluster_speeds) json.value(speed);
+    json.end_array();
+  }
+  json.end_object();
+
+  json.key("workload").begin_object();
+  json.key("size_model").value(spec.size_model);
+  json.key("component_limit").value(static_cast<std::uint64_t>(spec.component_limit));
+  json.key("extension_factor").value(spec.extension_factor);
+  json.key("balanced_queues").value(spec.balanced_queues);
+  if (!spec.queue_weights.empty()) {
+    json.key("queue_weights").begin_array();
+    for (double weight : spec.queue_weights) json.value(weight);
+    json.end_array();
+  }
+  json.key("request_type").value(request_type_name(spec.request_type));
+  json.end_object();
+
+  json.key("policy").begin_object();
+  json.key("kind").value(policy_name(spec.policy));
+  json.key("placement").value(placement_rule_name(spec.placement));
+  json.key("backfill").value(backfill_json_name(spec.backfill));
+  json.key("discipline").value(queue_discipline_name(spec.discipline));
+  json.end_object();
+
+  json.key("run").begin_object();
+  json.key("mode").value(run_mode_name(spec.mode));
+  json.key("utilization").value(spec.utilization);
+  json.key("sweep").begin_object();
+  json.key("from").value(spec.sweep_from);
+  json.key("to").value(spec.sweep_to);
+  json.key("step").value(spec.sweep_step);
+  if (!spec.utilization_grid.empty()) {
+    json.key("grid").begin_array();
+    for (double utilization : spec.utilization_grid) json.value(utilization);
+    json.end_array();
+  }
+  json.end_object();
+  json.key("sim_jobs").value(spec.sim_jobs);
+  json.key("replications").value(static_cast<std::uint64_t>(spec.replications));
+  json.key("saturation").begin_object();
+  json.key("completions").value(spec.saturation_completions);
+  json.key("backlog").value(spec.saturation_backlog);
+  json.end_object();
+  json.key("seed").value(spec.seed);
+  json.key("warmup_fraction").value(spec.warmup_fraction);
+  json.key("batch_count").value(spec.batch_count);
+  json.key("parallelism").value(static_cast<std::uint64_t>(spec.parallelism));
+  json.end_object();
+
+  json.end_object();
+}
+
+void write_scenario_file(std::ostream& out, const ScenarioSpec& spec) {
+  obs::JsonWriter json(out);
+  write_scenario_json(json, spec);
+  out << '\n';
+}
+
+namespace {
+
+std::vector<std::uint32_t> read_u32_array(const obs::JsonValue& value) {
+  std::vector<std::uint32_t> out;
+  out.reserve(value.items().size());
+  for (const auto& item : value.items()) {
+    out.push_back(static_cast<std::uint32_t>(item.as_uint()));
+  }
+  return out;
+}
+
+std::vector<double> read_double_array(const obs::JsonValue& value) {
+  std::vector<double> out;
+  out.reserve(value.items().size());
+  for (const auto& item : value.items()) out.push_back(item.as_double());
+  return out;
+}
+
+void read_system(const obs::JsonValue& value, ScenarioSpec& spec) {
+  for (const auto& [key, v] : value.members()) {
+    if (key == "cluster_sizes") {
+      spec.cluster_sizes = read_u32_array(v);
+    } else if (key == "cluster_speeds") {
+      spec.cluster_speeds = read_double_array(v);
+    } else {
+      MCSIM_REQUIRE(false, "scenario: unknown system key \"" + key + "\"");
+    }
+  }
+}
+
+void read_workload(const obs::JsonValue& value, ScenarioSpec& spec) {
+  for (const auto& [key, v] : value.members()) {
+    if (key == "size_model") {
+      spec.size_model = v.as_string();
+    } else if (key == "component_limit") {
+      spec.component_limit = static_cast<std::uint32_t>(v.as_uint());
+    } else if (key == "extension_factor") {
+      spec.extension_factor = v.as_double();
+    } else if (key == "balanced_queues") {
+      spec.balanced_queues = v.as_bool();
+    } else if (key == "queue_weights") {
+      spec.queue_weights = read_double_array(v);
+    } else if (key == "request_type") {
+      spec.request_type = parse_request_type(v.as_string());
+    } else {
+      MCSIM_REQUIRE(false, "scenario: unknown workload key \"" + key + "\"");
+    }
+  }
+}
+
+void read_policy(const obs::JsonValue& value, ScenarioSpec& spec) {
+  for (const auto& [key, v] : value.members()) {
+    if (key == "kind") {
+      spec.policy = parse_policy_kind(v.as_string());
+    } else if (key == "placement") {
+      spec.placement = parse_placement_rule(v.as_string());
+    } else if (key == "backfill") {
+      spec.backfill = parse_backfill_mode(v.as_string());
+    } else if (key == "discipline") {
+      spec.discipline = parse_queue_discipline(v.as_string());
+    } else {
+      MCSIM_REQUIRE(false, "scenario: unknown policy key \"" + key + "\"");
+    }
+  }
+}
+
+void read_sweep(const obs::JsonValue& value, ScenarioSpec& spec) {
+  for (const auto& [key, v] : value.members()) {
+    if (key == "from") {
+      spec.sweep_from = v.as_double();
+    } else if (key == "to") {
+      spec.sweep_to = v.as_double();
+    } else if (key == "step") {
+      spec.sweep_step = v.as_double();
+    } else if (key == "grid") {
+      spec.utilization_grid = read_double_array(v);
+    } else {
+      MCSIM_REQUIRE(false, "scenario: unknown sweep key \"" + key + "\"");
+    }
+  }
+}
+
+void read_saturation(const obs::JsonValue& value, ScenarioSpec& spec) {
+  for (const auto& [key, v] : value.members()) {
+    if (key == "completions") {
+      spec.saturation_completions = v.as_uint();
+    } else if (key == "backlog") {
+      spec.saturation_backlog = v.as_uint();
+    } else {
+      MCSIM_REQUIRE(false, "scenario: unknown saturation key \"" + key + "\"");
+    }
+  }
+}
+
+void read_run(const obs::JsonValue& value, ScenarioSpec& spec) {
+  for (const auto& [key, v] : value.members()) {
+    if (key == "mode") {
+      spec.mode = parse_run_mode(v.as_string());
+    } else if (key == "utilization") {
+      spec.utilization = v.as_double();
+    } else if (key == "sweep") {
+      read_sweep(v, spec);
+    } else if (key == "sim_jobs") {
+      spec.sim_jobs = v.as_uint();
+    } else if (key == "replications") {
+      spec.replications = static_cast<std::uint32_t>(v.as_uint());
+    } else if (key == "saturation") {
+      read_saturation(v, spec);
+    } else if (key == "seed") {
+      spec.seed = v.as_uint();
+    } else if (key == "warmup_fraction") {
+      spec.warmup_fraction = v.as_double();
+    } else if (key == "batch_count") {
+      spec.batch_count = v.as_uint();
+    } else if (key == "parallelism") {
+      spec.parallelism = static_cast<unsigned>(v.as_uint());
+    } else {
+      MCSIM_REQUIRE(false, "scenario: unknown run key \"" + key + "\"");
+    }
+  }
+}
+
+}  // namespace
+
+ScenarioSpec scenario_from_json(const obs::JsonValue& value) {
+  MCSIM_REQUIRE(value.is_object(), "scenario: expected a JSON object");
+  ScenarioSpec spec;
+  for (const auto& [key, v] : value.members()) {
+    if (key == "schema") {
+      MCSIM_REQUIRE(v.as_string() == "mcsim-scenario",
+                    "scenario: unexpected schema \"" + v.as_string() + "\"");
+    } else if (key == "schema_version") {
+      MCSIM_REQUIRE(v.as_int() == ScenarioSpec::kSchemaVersion,
+                    "scenario: unsupported schema_version " + v.number_text());
+    } else if (key == "name") {
+      spec.name = v.as_string();
+    } else if (key == "system") {
+      read_system(v, spec);
+    } else if (key == "workload") {
+      read_workload(v, spec);
+    } else if (key == "policy") {
+      read_policy(v, spec);
+    } else if (key == "run") {
+      read_run(v, spec);
+    } else {
+      MCSIM_REQUIRE(false, "scenario: unknown key \"" + key + "\"");
+    }
+  }
+  validate(spec);
+  return spec;
+}
+
+ScenarioSpec load_scenario(const std::string& path) {
+  const obs::JsonValue document = obs::parse_json_file(path);
+  MCSIM_REQUIRE(document.is_object(), "scenario: " + path + " is not a JSON object");
+  const obs::JsonValue* schema = document.find("schema");
+  if (schema != nullptr && schema->is_string() &&
+      schema->as_string() == "mcsim-run-manifest") {
+    const obs::JsonValue* embedded = document.find("scenario");
+    MCSIM_REQUIRE(embedded != nullptr,
+                  "scenario: " + path +
+                      " is a run manifest without an embedded scenario "
+                      "(written before scenario support?)");
+    return scenario_from_json(*embedded);
+  }
+  return scenario_from_json(document);
+}
+
+}  // namespace mcsim::exp

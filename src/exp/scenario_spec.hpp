@@ -1,0 +1,163 @@
+/// \file
+/// \brief ScenarioSpec: the declarative, serializable description of one
+/// simulation experiment — the single source of truth every layer
+/// consumes.
+///
+/// A spec names everything a run depends on: the system layout (cluster
+/// sizes and speeds), the workload model, the policy stack (scheduling
+/// policy, placement rule, backfill, queue discipline), the seed, run
+/// lengths, and the mode-specific parameters (point / sweep / saturation /
+/// replications). One construction path — to_simulation_config() /
+/// build_simulation() — turns a spec into a runnable engine, and the
+/// legacy PaperScenario helpers, the CLI flag parsers, and the examples
+/// are all thin translators onto it, so a scenario JSON file, a CLI
+/// invocation and a run manifest describe runs identically and
+/// reproduce them bit-exactly (docs/SCENARIOS.md).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/saturation.hpp"
+#include "exp/scenario.hpp"
+#include "workload/das_workload.hpp"
+
+namespace mcsim::obs {
+class JsonValue;
+class JsonWriter;
+}  // namespace mcsim::obs
+
+namespace mcsim::exp {
+
+/// What a scenario runs: one load point, a utilization sweep, the
+/// constant-backlog saturation estimator, or an independent-replication
+/// set.
+enum class RunMode : std::uint8_t { kPoint, kSweep, kSaturation, kReplications };
+
+const char* run_mode_name(RunMode mode);
+/// Parse a run-mode name ("point", "sweep", "saturation", "replications";
+/// case-insensitive). Throws std::invalid_argument otherwise.
+RunMode parse_run_mode(const std::string& name);
+
+struct ScenarioSpec {
+  /// Version of the scenario JSON layout. Bump on any key rename/removal;
+  /// adding keys is backward-compatible and needs no bump.
+  static constexpr std::int64_t kSchemaVersion = 1;
+
+  /// Optional human-readable name; label() falls back to the derived
+  /// paper-style label when empty.
+  std::string name;
+
+  // -- system -----------------------------------------------------------
+  /// Multicluster layout. Empty = the DAS default for the policy (4x32;
+  /// 1x128 for SC).
+  std::vector<std::uint32_t> cluster_sizes;
+  /// Relative per-cluster service rates; empty = homogeneous (the paper).
+  std::vector<double> cluster_speeds;
+
+  // -- workload ---------------------------------------------------------
+  /// Total-job-size distribution: "das-s-128" or "das-s-64".
+  std::string size_model = "das-s-128";
+  std::uint32_t component_limit = 16;
+  double extension_factor = das::kExtensionFactor;
+  /// false (with no explicit queue_weights): one hot local queue gets 40%
+  /// of local submissions, the others split the rest (the paper's
+  /// unbalanced setting; requires the 4-cluster DAS layout).
+  bool balanced_queues = true;
+  /// Explicit per-cluster submission weights; overrides balanced_queues.
+  std::vector<double> queue_weights;
+  /// Request structure (unordered reproduces the paper).
+  RequestType request_type = RequestType::kUnordered;
+
+  // -- policy -----------------------------------------------------------
+  PolicyKind policy = PolicyKind::kGS;
+  PlacementRule placement = PlacementRule::kWorstFit;
+  /// Extension (paper: kNone). GS/SC only.
+  BackfillMode backfill = BackfillMode::kNone;
+  /// Extension (paper: kFcfs). GS/SC only.
+  QueueDiscipline discipline = QueueDiscipline::kFcfs;
+
+  // -- run --------------------------------------------------------------
+  RunMode mode = RunMode::kPoint;
+  /// Target gross utilization (point and replications modes).
+  double utilization = 0.5;
+  /// Explicit sweep grid; empty = grid(sweep_from, sweep_to, sweep_step).
+  std::vector<double> utilization_grid;
+  double sweep_from = 0.30;
+  double sweep_to = 0.80;
+  double sweep_step = 0.05;
+  /// Arrivals per run (point/sweep/replications).
+  std::uint64_t sim_jobs = 30000;
+  /// Independent replications (replications mode).
+  std::uint32_t replications = 10;
+  /// Completions / constant backlog (saturation mode).
+  std::uint64_t saturation_completions = 40000;
+  std::uint64_t saturation_backlog = 200;
+  std::uint64_t seed = 1;
+  double warmup_fraction = 0.1;
+  std::uint64_t batch_count = 20;
+  /// Worker threads for sweep/replications fan-out (0 = all cores).
+  unsigned parallelism = 1;
+
+  [[nodiscard]] std::string label() const;
+
+  /// The paper-scenario view of this spec (for report legends and the
+  /// legacy helpers). Extensions beyond PaperScenario's vocabulary
+  /// (backfill, discipline, custom layouts) are not representable there.
+  [[nodiscard]] PaperScenario paper_scenario() const;
+
+  /// The sweep grid this spec describes: utilization_grid when given,
+  /// otherwise generated from sweep_from/to/step.
+  [[nodiscard]] std::vector<double> sweep_grid() const;
+
+  /// Lift a PaperScenario into the spec vocabulary (point mode, default
+  /// run lengths; callers override seed/sim_jobs/mode as needed).
+  static ScenarioSpec from_paper(const PaperScenario& scenario);
+
+  bool operator==(const ScenarioSpec&) const = default;
+};
+
+/// Check the spec for internal consistency (known size model, aligned
+/// weights/speeds, extensions restricted to the single-queue policies,
+/// positive run lengths, ...). Throws std::invalid_argument naming the
+/// offending field.
+void validate(const ScenarioSpec& spec);
+
+/// THE construction path from a spec to an engine config — every layer
+/// (CLI, scenario files, manifests, PaperScenario helpers, examples)
+/// funnels through here, which is what makes their runs bit-identical.
+/// The one-argument form uses spec.utilization; the two-argument form is
+/// for sweep points.
+SimulationConfig to_simulation_config(const ScenarioSpec& spec);
+SimulationConfig to_simulation_config(const ScenarioSpec& spec, double utilization);
+
+/// The constant-backlog estimator's config for this spec (saturation
+/// mode). Saturation keeps its own warmup default; cluster speeds are not
+/// supported there.
+SaturationConfig to_saturation_config(const ScenarioSpec& spec);
+
+/// Build a ready-to-run engine for the spec (at spec.utilization).
+/// Callers attach sinks/metrics and call run().
+std::unique_ptr<MulticlusterSimulation> build_simulation(const ScenarioSpec& spec);
+
+/// Write the spec as a JSON object on an already-open writer (used to
+/// embed the spec in run manifests).
+void write_scenario_json(obs::JsonWriter& json, const ScenarioSpec& spec);
+
+/// Write a standalone scenario document (the `mcsim run` input format).
+void write_scenario_file(std::ostream& out, const ScenarioSpec& spec);
+
+/// Rebuild a spec from a parsed scenario object. Missing keys keep their
+/// defaults; unknown keys are rejected (typo protection). Throws
+/// std::invalid_argument on schema violations.
+ScenarioSpec scenario_from_json(const obs::JsonValue& value);
+
+/// Load a spec from a file holding either a scenario document or a run
+/// manifest with an embedded "scenario" object (`mcsim rerun`).
+ScenarioSpec load_scenario(const std::string& path);
+
+}  // namespace mcsim::exp

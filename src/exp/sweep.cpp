@@ -1,6 +1,7 @@
 #include "exp/sweep.hpp"
 
 #include "exp/runner.hpp"
+#include "exp/scenario_spec.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -33,8 +34,8 @@ double SweepSeries::max_stable_utilization() const {
 
 namespace {
 
-void log_point(const PaperScenario& scenario, double util, const SimulationResult& result) {
-  MCSIM_LOG(kInfo) << scenario.label() << " @ rho=" << format_util(util)
+void log_point(const std::string& label, double util, const SimulationResult& result) {
+  MCSIM_LOG(kInfo) << label << " @ rho=" << format_util(util)
                    << (result.unstable
                            ? " UNSTABLE"
                            : " mean response " + format_double(result.mean_response(), 1));
@@ -43,21 +44,38 @@ void log_point(const PaperScenario& scenario, double util, const SimulationResul
 }  // namespace
 
 SweepSeries run_sweep(const PaperScenario& scenario, const SweepConfig& config) {
+  if (config.target_utilizations.empty()) {
+    // An explicitly empty grid means "no points" — don't let the spec fall
+    // back to its default generated grid.
+    SweepSeries series;
+    series.scenario = scenario;
+    return series;
+  }
+  exp::ScenarioSpec spec = exp::ScenarioSpec::from_paper(scenario);
+  spec.mode = exp::RunMode::kSweep;
+  spec.utilization_grid = config.target_utilizations;
+  spec.sim_jobs = config.jobs_per_point;
+  spec.seed = config.seed;
+  spec.parallelism = config.parallelism;
+  return run_sweep(spec);
+}
+
+SweepSeries run_sweep(const exp::ScenarioSpec& spec) {
   SweepSeries series;
-  series.scenario = scenario;
-  const auto& grid = config.target_utilizations;
+  series.scenario = spec.paper_scenario();
+  const std::string label = spec.label();
+  const std::vector<double> grid = spec.sweep_grid();
   const auto run_point = [&](std::size_t i) {
-    return run_simulation(
-        make_paper_config(scenario, grid[i], config.jobs_per_point, config.seed));
+    return run_simulation(exp::to_simulation_config(spec, grid[i]));
   };
 
-  if (config.parallelism == 1) {
+  if (spec.parallelism == 1) {
     // Serial early-stop loop: never simulates beyond the first unstable point.
     for (std::size_t i = 0; i < grid.size(); ++i) {
       SweepPoint point;
       point.target_gross_utilization = grid[i];
       point.result = run_point(i);
-      log_point(scenario, grid[i], point.result);
+      log_point(label, grid[i], point.result);
       const bool unstable = point.result.unstable;
       series.points.push_back(std::move(point));
       if (unstable) break;  // all higher loads are unstable too
@@ -68,13 +86,13 @@ SweepSeries run_sweep(const PaperScenario& scenario, const SweepConfig& config) 
   // Speculative parallel sweep: run every grid point concurrently, then keep
   // the same prefix the serial loop would have produced. Each point depends
   // only on its own config, so the kept points are bit-identical.
-  exp::Runner runner(config.parallelism);
+  exp::Runner runner(spec.parallelism);
   auto results = runner.map(grid.size(), run_point);
   for (std::size_t i = 0; i < results.size(); ++i) {
     SweepPoint point;
     point.target_gross_utilization = grid[i];
     point.result = std::move(results[i]);
-    log_point(scenario, grid[i], point.result);
+    log_point(label, grid[i], point.result);
     const bool unstable = point.result.unstable;
     series.points.push_back(std::move(point));
     if (unstable) break;

@@ -18,6 +18,10 @@
 
 namespace mcsim {
 
+namespace exp {
+struct ScenarioSpec;
+}  // namespace exp
+
 struct SweepConfig {
   std::vector<double> target_utilizations;
   std::uint64_t jobs_per_point = 30000;
@@ -44,5 +48,12 @@ struct SweepSeries {
 };
 
 SweepSeries run_sweep(const PaperScenario& scenario, const SweepConfig& config);
+
+/// Sweep described entirely by a spec (mode kSweep): grid, jobs per point,
+/// seed and parallelism all come from the spec, and every point's config is
+/// exp::to_simulation_config(spec, utilization) — the same path `mcsim run`
+/// and manifest replay use. The PaperScenario overload above is a thin
+/// translator onto this one.
+SweepSeries run_sweep(const exp::ScenarioSpec& spec);
 
 }  // namespace mcsim

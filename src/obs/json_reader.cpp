@@ -1,0 +1,391 @@
+#include "obs/json_reader.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mcsim::obs {
+
+namespace {
+
+const char* kind_label(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+std::string kind_error(const char* wanted, JsonValue::Kind got) {
+  return std::string("JSON: expected a ") + wanted + ", got " + kind_label(got);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  MCSIM_REQUIRE(is_bool(), kind_error("bool", kind_));
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  MCSIM_REQUIRE(is_number(), kind_error("number", kind_));
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+std::int64_t JsonValue::as_int() const {
+  MCSIM_REQUIRE(is_number(), kind_error("number", kind_));
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(scalar_.c_str(), &end, 10);
+  MCSIM_REQUIRE(errno == 0 && end != nullptr && *end == '\0',
+                "JSON: not an integer: " + scalar_);
+  return value;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  MCSIM_REQUIRE(is_number(), kind_error("number", kind_));
+  MCSIM_REQUIRE(!scalar_.empty() && scalar_[0] != '-',
+                "JSON: negative value where an unsigned integer was expected: " + scalar_);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(scalar_.c_str(), &end, 10);
+  MCSIM_REQUIRE(errno == 0 && end != nullptr && *end == '\0',
+                "JSON: not an unsigned integer: " + scalar_);
+  return value;
+}
+
+const std::string& JsonValue::as_string() const {
+  MCSIM_REQUIRE(is_string(), kind_error("string", kind_));
+  return scalar_;
+}
+
+const std::string& JsonValue::number_text() const {
+  MCSIM_REQUIRE(is_number(), kind_error("number", kind_));
+  return scalar_;
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return items_.size();
+  if (is_object()) return members_.size();
+  MCSIM_REQUIRE(false, kind_error("array or object", kind_));
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  MCSIM_REQUIRE(is_array(), kind_error("array", kind_));
+  MCSIM_REQUIRE(index < items_.size(), "JSON: array index out of range");
+  return items_[index];
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  MCSIM_REQUIRE(is_array(), kind_error("array", kind_));
+  return items_;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = find(key);
+  MCSIM_REQUIRE(value != nullptr, "JSON: missing key \"" + key + "\"");
+  return *value;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  MCSIM_REQUIRE(is_object(), kind_error("object", kind_));
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  MCSIM_REQUIRE(is_object(), kind_error("object", kind_));
+  return members_;
+}
+
+/// Recursive-descent parser over a string_view. Depth is bounded to keep
+/// adversarial inputs from exhausting the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    require(pos_ == text_.size(), "trailing characters after the document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("mcsim: JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void require(bool condition, const char* what) const {
+    if (!condition) fail(what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    require(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    require(pos_ < text_.size() && text_[pos_] == c, "unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    require(depth_ < kMaxDepth, "document nests too deeply");
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string_value();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': {
+        require(consume_literal("null"), "invalid literal");
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    ++depth_;
+    expect('{');
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kObject;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return value;
+    }
+    while (true) {
+      skip_whitespace();
+      require(peek() == '"', "expected a member name");
+      std::string key = parse_string_text();
+      skip_whitespace();
+      expect(':');
+      value.members_.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_array() {
+    ++depth_;
+    expect('[');
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kArray;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return value;
+    }
+    while (true) {
+      value.items_.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      break;
+    }
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kBool;
+    if (consume_literal("true")) {
+      value.bool_ = true;
+    } else if (consume_literal("false")) {
+      value.bool_ = false;
+    } else {
+      fail("invalid literal");
+    }
+    return value;
+  }
+
+  JsonValue parse_string_value() {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kString;
+    value.scalar_ = parse_string_text();
+    return value;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    require(pos_ + 4 <= text_.size(), "truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::string parse_string_text() {
+    expect('"');
+    std::string out;
+    while (true) {
+      require(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        require(static_cast<unsigned char>(c) >= 0x20,
+                "unescaped control character in string");
+        out += c;
+        continue;
+      }
+      require(pos_ < text_.size(), "unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t code_point = parse_hex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            require(pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+                        text_[pos_ + 1] == 'u',
+                    "unpaired surrogate");
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            require(low >= 0xDC00 && low <= 0xDFFF, "unpaired surrogate");
+            code_point = 0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else {
+            require(!(code_point >= 0xDC00 && code_point <= 0xDFFF),
+                    "unpaired surrogate");
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digits_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    require(pos_ > digits_start, "invalid number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t fraction_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      require(pos_ > fraction_start, "invalid number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      const std::size_t exponent_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      require(pos_ > exponent_start, "invalid number");
+    }
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kNumber;
+    value.scalar_.assign(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+JsonValue parse_json(std::string_view text) { return JsonParser(text).parse_document(); }
+
+JsonValue parse_json(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_json(buffer.str());
+}
+
+JsonValue parse_json_file(const std::string& path) {
+  std::ifstream in(path);
+  MCSIM_REQUIRE(in.good(), "cannot open " + path);
+  try {
+    return parse_json(in);
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument(std::string(error.what()) + " (in " + path + ")");
+  }
+}
+
+}  // namespace mcsim::obs

@@ -1,0 +1,81 @@
+/// \file
+/// \brief A minimal recursive-descent JSON reader (no external
+/// dependencies) — the inverse of json.hpp's JsonWriter.
+///
+/// Purpose-built for reading scenario files and run manifests back in:
+/// numbers keep their raw source text, so `as_double()` goes through
+/// strtod exactly once and recovers the identical bits the writer's
+/// max_digits10 encoding produced. Object members preserve document
+/// order; lookups are linear (documents here are small).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mcsim::obs {
+
+/// One parsed JSON value: a tagged tree of null/bool/number/string/
+/// array/object. Accessors validate the kind with MCSIM_REQUIRE, so a
+/// schema mismatch surfaces as std::invalid_argument naming the problem
+/// rather than as garbage values.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const;
+  /// strtod of the raw number text — bit-exact for max_digits10 output.
+  [[nodiscard]] double as_double() const;
+  /// Integer readers; require the number to be integral and in range.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  /// The unparsed number text as it appeared in the document.
+  [[nodiscard]] const std::string& number_text() const;
+
+  /// Elements of an array / members of an object (throws otherwise).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Member lookup; throws std::invalid_argument naming a missing key.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// Member lookup; nullptr when absent (for optional keys).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  /// String value, or the raw number text.
+  std::string scalar_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws std::invalid_argument with an offset-annotated
+/// message on malformed input.
+JsonValue parse_json(std::string_view text);
+
+/// Read the whole stream and parse it as one document.
+JsonValue parse_json(std::istream& in);
+
+/// Read and parse a file; the error message names the path.
+JsonValue parse_json_file(const std::string& path);
+
+}  // namespace mcsim::obs

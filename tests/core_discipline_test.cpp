@@ -36,6 +36,50 @@ TEST(JobQueueOrder, SortedInsertIsStable) {
   EXPECT_EQ(queue.pop()->spec.id, 4u);
 }
 
+// The tie rule every discipline must obey: jobs whose sort keys compare
+// equal start in FCFS arrival order. The sorted insert walks past equal
+// elements, so equal keys never reorder — pinned here for all five
+// disciplines with jobs that are identical in both size and service time.
+TEST(JobQueueOrder, EqualKeysPreserveArrivalOrderUnderEveryDiscipline) {
+  for (const auto discipline :
+       {QueueDiscipline::kFcfs, QueueDiscipline::kShortestJobFirst,
+        QueueDiscipline::kLongestJobFirst, QueueDiscipline::kSmallestFirst,
+        QueueDiscipline::kLargestFirst}) {
+    SCOPED_TRACE(queue_discipline_name(discipline));
+    JobQueue queue;
+    queue.set_order(make_job_order(discipline));
+    for (std::uint64_t id = 1; id <= 6; ++id) {
+      queue.push(make_job(id, {8}, 0, 300.0));  // all sort keys equal
+    }
+    for (std::uint64_t id = 1; id <= 6; ++id) {
+      EXPECT_EQ(queue.pop()->spec.id, id);
+    }
+  }
+}
+
+// Same property end to end through a policy: a blocked queue of
+// equal-key jobs drains in submission order once capacity frees up.
+TEST(JobQueueOrder, PolicyStartsEqualKeyJobsInSubmissionOrder) {
+  for (const auto discipline :
+       {QueueDiscipline::kFcfs, QueueDiscipline::kShortestJobFirst,
+        QueueDiscipline::kLongestJobFirst, QueueDiscipline::kSmallestFirst,
+        QueueDiscipline::kLargestFirst}) {
+    SCOPED_TRACE(queue_discipline_name(discipline));
+    FakeContext ctx({128});
+    PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kNone,
+                    discipline);
+    policy.submit(make_job(1, {128}, 0, 100.0));  // occupies everything
+    for (std::uint64_t id = 2; id <= 5; ++id) {
+      policy.submit(make_job(id, {16}, 0, 200.0));
+    }
+    ctx.finish(ctx.started[0], policy);
+    ASSERT_EQ(ctx.started.size(), 5u);
+    for (std::uint64_t id = 2; id <= 5; ++id) {
+      EXPECT_EQ(ctx.started[id - 1]->spec.id, id);
+    }
+  }
+}
+
 TEST(JobQueueOrder, SetOrderOnNonEmptyQueueThrows) {
   JobQueue queue;
   queue.push(make_job(1, {4}));

@@ -12,17 +12,17 @@ using testing::FakeContext;
 TEST(PolicyNames, RoundTrip) {
   for (PolicyKind kind :
        {PolicyKind::kGS, PolicyKind::kLS, PolicyKind::kLP, PolicyKind::kSC}) {
-    EXPECT_EQ(parse_policy(policy_name(kind)), kind);
+    EXPECT_EQ(parse_policy_kind(policy_name(kind)), kind);
   }
 }
 
 TEST(PolicyNames, CaseInsensitiveParse) {
-  EXPECT_EQ(parse_policy("ls"), PolicyKind::kLS);
-  EXPECT_EQ(parse_policy("Lp"), PolicyKind::kLP);
+  EXPECT_EQ(parse_policy_kind("ls"), PolicyKind::kLS);
+  EXPECT_EQ(parse_policy_kind("Lp"), PolicyKind::kLP);
 }
 
 TEST(PolicyNames, UnknownThrows) {
-  EXPECT_THROW(parse_policy("FCFS"), std::invalid_argument);
+  EXPECT_THROW(parse_policy_kind("FCFS"), std::invalid_argument);
 }
 
 TEST(Factory, BuildsEveryPolicy) {

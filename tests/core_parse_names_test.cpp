@@ -1,0 +1,96 @@
+// Exhaustive name <-> enum round trips for every enum the ScenarioSpec
+// serializes: whatever *_name() prints, the matching parse_* must read
+// back to the same enumerator (the property scenario/manifest JSON
+// round-trips rest on), and unknown names must be rejected loudly.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cluster/placement.hpp"
+#include "core/scheduler.hpp"
+#include "core/scheduler_factory.hpp"
+#include "workload/request.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(ParseNames, PolicyKindRoundTrip) {
+  for (PolicyKind kind :
+       {PolicyKind::kGS, PolicyKind::kLS, PolicyKind::kLP, PolicyKind::kSC}) {
+    EXPECT_EQ(parse_policy_kind(policy_name(kind)), kind);
+  }
+}
+
+TEST(ParseNames, PolicyKindIsCaseInsensitive) {
+  EXPECT_EQ(parse_policy_kind("gs"), PolicyKind::kGS);
+  EXPECT_EQ(parse_policy_kind("Sc"), PolicyKind::kSC);
+}
+
+TEST(ParseNames, PolicyKindRejectsUnknown) {
+  EXPECT_THROW(parse_policy_kind(""), std::invalid_argument);
+  EXPECT_THROW(parse_policy_kind("global"), std::invalid_argument);
+}
+
+TEST(ParseNames, PlacementRuleRoundTrip) {
+  for (PlacementRule rule :
+       {PlacementRule::kWorstFit, PlacementRule::kFirstFit, PlacementRule::kBestFit}) {
+    EXPECT_EQ(parse_placement_rule(placement_rule_name(rule)), rule);
+  }
+}
+
+TEST(ParseNames, PlacementRuleAcceptsLongForms) {
+  EXPECT_EQ(parse_placement_rule("worst-fit"), PlacementRule::kWorstFit);
+  EXPECT_EQ(parse_placement_rule("FirstFit"), PlacementRule::kFirstFit);
+  EXPECT_EQ(parse_placement_rule("bf"), PlacementRule::kBestFit);
+}
+
+TEST(ParseNames, PlacementRuleRejectsUnknown) {
+  EXPECT_THROW(parse_placement_rule("next-fit"), std::invalid_argument);
+}
+
+TEST(ParseNames, BackfillModeRoundTrip) {
+  for (BackfillMode mode :
+       {BackfillMode::kNone, BackfillMode::kAggressive, BackfillMode::kEasy}) {
+    EXPECT_EQ(parse_backfill_mode(backfill_mode_name(mode)), mode);
+  }
+}
+
+TEST(ParseNames, BackfillModeAcceptsShortForms) {
+  EXPECT_EQ(parse_backfill_mode("none"), BackfillMode::kNone);
+  EXPECT_EQ(parse_backfill_mode("aggressive"), BackfillMode::kAggressive);
+  EXPECT_EQ(parse_backfill_mode("EASY"), BackfillMode::kEasy);
+}
+
+TEST(ParseNames, BackfillModeRejectsUnknown) {
+  EXPECT_THROW(parse_backfill_mode("conservative"), std::invalid_argument);
+}
+
+TEST(ParseNames, QueueDisciplineRoundTrip) {
+  for (QueueDiscipline discipline :
+       {QueueDiscipline::kFcfs, QueueDiscipline::kShortestJobFirst,
+        QueueDiscipline::kLongestJobFirst, QueueDiscipline::kSmallestFirst,
+        QueueDiscipline::kLargestFirst}) {
+    EXPECT_EQ(parse_queue_discipline(queue_discipline_name(discipline)), discipline);
+  }
+}
+
+TEST(ParseNames, QueueDisciplineAcceptsLongForms) {
+  EXPECT_EQ(parse_queue_discipline("shortest-job-first"),
+            QueueDiscipline::kShortestJobFirst);
+  EXPECT_EQ(parse_queue_discipline("Longest-Job-First"),
+            QueueDiscipline::kLongestJobFirst);
+}
+
+TEST(ParseNames, QueueDisciplineRejectsUnknown) {
+  EXPECT_THROW(parse_queue_discipline("priority"), std::invalid_argument);
+}
+
+TEST(ParseNames, RequestTypeRoundTrip) {
+  for (RequestType type : {RequestType::kOrdered, RequestType::kUnordered,
+                           RequestType::kFlexible, RequestType::kTotal}) {
+    EXPECT_EQ(parse_request_type(request_type_name(type)), type);
+  }
+}
+
+}  // namespace
+}  // namespace mcsim

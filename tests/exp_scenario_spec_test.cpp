@@ -1,0 +1,361 @@
+// ScenarioSpec: the declarative description of one experiment, and the
+// single construction path under everything. The tests here pin the two
+// properties the subsystem exists for: a spec survives a JSON round trip
+// unchanged (operator==), and every way of describing the same run —
+// legacy PaperScenario helpers, a scenario file, the spec embedded in a
+// run manifest — produces bit-identical results.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/manifest.hpp"
+#include "exp/replications.hpp"
+#include "exp/scenario.hpp"
+#include "exp/scenario_spec.hpp"
+#include "exp/sweep.hpp"
+#include "obs/json_reader.hpp"
+
+namespace mcsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+exp::ScenarioSpec round_trip(const exp::ScenarioSpec& spec) {
+  std::ostringstream out;
+  exp::write_scenario_file(out, spec);
+  return exp::scenario_from_json(obs::parse_json(out.str()));
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((fs::temp_directory_path() / name).string()) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(RunMode, NameParseRoundTrip) {
+  for (const auto mode : {exp::RunMode::kPoint, exp::RunMode::kSweep,
+                          exp::RunMode::kSaturation, exp::RunMode::kReplications}) {
+    EXPECT_EQ(exp::parse_run_mode(exp::run_mode_name(mode)), mode);
+  }
+  EXPECT_EQ(exp::parse_run_mode("SWEEP"), exp::RunMode::kSweep);
+  EXPECT_THROW(exp::parse_run_mode("sprint"), std::invalid_argument);
+}
+
+TEST(ScenarioSpecJson, DefaultSpecRoundTripsUnchanged) {
+  const exp::ScenarioSpec spec;
+  EXPECT_EQ(round_trip(spec), spec);
+}
+
+TEST(ScenarioSpecJson, EveryFieldSurvivesTheRoundTrip) {
+  exp::ScenarioSpec spec;
+  spec.name = "full-house \"quoted\"";
+  spec.cluster_sizes = {16, 32, 48};
+  spec.cluster_speeds = {1.0, 0.5, 2.0};
+  spec.size_model = "das-s-64";
+  spec.component_limit = 24;
+  spec.extension_factor = 1.3;
+  spec.balanced_queues = false;
+  spec.queue_weights = {0.5, 0.25, 0.25};
+  spec.request_type = RequestType::kOrdered;
+  spec.policy = PolicyKind::kGS;
+  spec.placement = PlacementRule::kBestFit;
+  spec.backfill = BackfillMode::kEasy;
+  spec.discipline = QueueDiscipline::kShortestJobFirst;
+  spec.mode = exp::RunMode::kSweep;
+  spec.utilization = 0.6180339887498949;  // bit-exactness matters
+  spec.utilization_grid = {0.3, 0.55, 0.7};
+  spec.sweep_from = 0.2;
+  spec.sweep_to = 0.9;
+  spec.sweep_step = 0.1;
+  spec.sim_jobs = 12345;
+  spec.replications = 7;
+  spec.saturation_completions = 777;
+  spec.saturation_backlog = 42;
+  spec.seed = 0xFFFFFFFFFFFFFFFFull;  // needs full 64-bit integer reads
+  spec.warmup_fraction = 0.15;
+  spec.batch_count = 10;
+  spec.parallelism = 3;
+  EXPECT_EQ(round_trip(spec), spec);
+}
+
+TEST(ScenarioSpecJson, SaturationModeRoundTrips) {
+  exp::ScenarioSpec spec;
+  spec.mode = exp::RunMode::kSaturation;
+  spec.policy = PolicyKind::kSC;
+  spec.saturation_completions = 5000;
+  EXPECT_EQ(round_trip(spec), spec);
+}
+
+TEST(ScenarioSpecJson, MissingKeysKeepDefaults) {
+  const auto spec = exp::scenario_from_json(obs::parse_json(
+      R"({"schema": "mcsim-scenario", "policy": {"kind": "LS"}})"));
+  exp::ScenarioSpec expected;
+  expected.policy = PolicyKind::kLS;
+  EXPECT_EQ(spec, expected);
+}
+
+TEST(ScenarioSpecJson, UnknownKeysAreRejected) {
+  EXPECT_THROW(exp::scenario_from_json(obs::parse_json(R"({"polciy": {}})")),
+               std::invalid_argument);
+  EXPECT_THROW(exp::scenario_from_json(
+                   obs::parse_json(R"({"run": {"utilisation": 0.5}})")),
+               std::invalid_argument);
+  EXPECT_THROW(exp::scenario_from_json(
+                   obs::parse_json(R"({"workload": {"sizemodel": "das-s-128"}})")),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecJson, WrongSchemaIsRejected) {
+  EXPECT_THROW(exp::scenario_from_json(obs::parse_json(R"({"schema": "other"})")),
+               std::invalid_argument);
+  EXPECT_THROW(exp::scenario_from_json(
+                   obs::parse_json(R"({"schema_version": 99})")),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecValidate, RejectsInconsistentSpecs) {
+  {
+    exp::ScenarioSpec spec;
+    spec.size_model = "das-s-256";
+    EXPECT_THROW(exp::validate(spec), std::invalid_argument);
+  }
+  {
+    exp::ScenarioSpec spec;  // backfill needs a single-queue policy
+    spec.policy = PolicyKind::kLS;
+    spec.backfill = BackfillMode::kEasy;
+    EXPECT_THROW(exp::validate(spec), std::invalid_argument);
+  }
+  {
+    exp::ScenarioSpec spec;
+    spec.policy = PolicyKind::kLP;
+    spec.discipline = QueueDiscipline::kShortestJobFirst;
+    EXPECT_THROW(exp::validate(spec), std::invalid_argument);
+  }
+  {
+    exp::ScenarioSpec spec;
+    spec.queue_weights = {0.5, 0.5};  // 2 weights, 4 clusters
+    EXPECT_THROW(exp::validate(spec), std::invalid_argument);
+  }
+  {
+    exp::ScenarioSpec spec;
+    spec.cluster_speeds = {1.0};  // 1 speed, 4 clusters
+    EXPECT_THROW(exp::validate(spec), std::invalid_argument);
+  }
+  {
+    exp::ScenarioSpec spec;  // derived unbalanced weights are DAS-specific
+    spec.cluster_sizes = {32, 32};
+    spec.balanced_queues = false;
+    EXPECT_THROW(exp::validate(spec), std::invalid_argument);
+  }
+  {
+    exp::ScenarioSpec spec;  // saturation estimator is homogeneous-only
+    spec.mode = exp::RunMode::kSaturation;
+    spec.cluster_speeds = {1.0, 1.0, 1.0, 1.0};
+    EXPECT_THROW(exp::validate(spec), std::invalid_argument);
+  }
+  {
+    exp::ScenarioSpec spec;
+    spec.policy = PolicyKind::kSC;
+    spec.cluster_sizes = {32, 32, 32, 32};
+    EXPECT_THROW(exp::validate(spec), std::invalid_argument);
+  }
+}
+
+// The heart of the refactor: the legacy helper is a translator onto the
+// spec path, so both must produce the identical run.
+TEST(ScenarioSpecEquivalence, FromPaperMatchesLegacyConfigBitExactly) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kLS;
+  scenario.component_limit = 24;
+  scenario.balanced_queues = false;
+
+  const auto legacy = make_paper_config(scenario, 0.45, 4000, /*seed=*/7);
+
+  exp::ScenarioSpec spec = exp::ScenarioSpec::from_paper(scenario);
+  spec.utilization = 0.45;
+  spec.sim_jobs = 4000;
+  spec.seed = 7;
+  const auto from_spec = exp::to_simulation_config(spec);
+
+  EXPECT_EQ(legacy.cluster_sizes, from_spec.cluster_sizes);
+  EXPECT_EQ(legacy.workload.arrival_rate, from_spec.workload.arrival_rate);
+  EXPECT_EQ(legacy.workload.queue_weights, from_spec.workload.queue_weights);
+
+  const auto legacy_run = run_simulation(legacy);
+  const auto spec_run = run_simulation(from_spec);
+  EXPECT_EQ(legacy_run.mean_response(), spec_run.mean_response());
+  EXPECT_EQ(legacy_run.completed_jobs, spec_run.completed_jobs);
+}
+
+TEST(ScenarioSpecEquivalence, ScenarioFileRunIsBitIdentical) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kGS;
+  exp::ScenarioSpec spec = exp::ScenarioSpec::from_paper(scenario);
+  spec.utilization = 0.5;
+  spec.sim_jobs = 3000;
+  spec.seed = 11;
+
+  TempFile file("mcsim_scenario_spec_test_scenario.json");
+  {
+    std::ofstream out(file.path());
+    exp::write_scenario_file(out, spec);
+  }
+  const auto loaded = exp::load_scenario(file.path());
+  EXPECT_EQ(loaded, spec);
+
+  const auto direct = run_simulation(exp::to_simulation_config(spec));
+  const auto from_file = run_simulation(exp::to_simulation_config(loaded));
+  EXPECT_EQ(direct.mean_response(), from_file.mean_response());
+  EXPECT_EQ(direct.completed_jobs, from_file.completed_jobs);
+}
+
+TEST(ScenarioSpecEquivalence, ManifestRerunIsBitIdentical) {
+  exp::ScenarioSpec spec;
+  spec.policy = PolicyKind::kLS;
+  spec.utilization = 0.4;
+  spec.sim_jobs = 3000;
+  spec.seed = 13;
+
+  const auto config = exp::to_simulation_config(spec);
+  const auto result = run_simulation(config);
+
+  TempFile file("mcsim_scenario_spec_test_manifest.json");
+  {
+    std::ofstream out(file.path());
+    ManifestInfo info;
+    info.scenario = &spec;
+    write_run_manifest(out, config, result, /*metrics=*/nullptr, info);
+  }
+
+  // load_scenario accepts the manifest directly (the `mcsim rerun` path).
+  const auto replayed = exp::load_scenario(file.path());
+  EXPECT_EQ(replayed, spec);
+  const auto rerun = run_simulation(exp::to_simulation_config(replayed));
+  EXPECT_EQ(result.mean_response(), rerun.mean_response());
+  EXPECT_EQ(result.completed_jobs, rerun.completed_jobs);
+  EXPECT_EQ(result.busy_fraction, rerun.busy_fraction);
+}
+
+TEST(ScenarioSpecEquivalence, ManifestWithoutScenarioIsRejected) {
+  exp::ScenarioSpec spec;
+  const auto config = exp::to_simulation_config(spec);
+  SimulationResult result;
+
+  TempFile file("mcsim_scenario_spec_test_bare_manifest.json");
+  {
+    std::ofstream out(file.path());
+    write_run_manifest(out, config, result, nullptr, ManifestInfo{});
+  }
+  EXPECT_THROW(exp::load_scenario(file.path()), std::invalid_argument);
+}
+
+TEST(ScenarioSpecEquivalence, SweepFromSpecMatchesLegacySweep) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kGS;
+
+  SweepConfig legacy_config;
+  legacy_config.target_utilizations = {0.35, 0.5};
+  legacy_config.jobs_per_point = 2000;
+  legacy_config.seed = 5;
+  const auto legacy = run_sweep(scenario, legacy_config);
+
+  exp::ScenarioSpec spec = exp::ScenarioSpec::from_paper(scenario);
+  spec.mode = exp::RunMode::kSweep;
+  spec.utilization_grid = {0.35, 0.5};
+  spec.sim_jobs = 2000;
+  spec.seed = 5;
+  const auto from_spec = run_sweep(spec);
+
+  ASSERT_EQ(legacy.points.size(), from_spec.points.size());
+  for (std::size_t i = 0; i < legacy.points.size(); ++i) {
+    EXPECT_EQ(legacy.points[i].result.mean_response(),
+              from_spec.points[i].result.mean_response());
+  }
+}
+
+TEST(ScenarioSpecEquivalence, ReplicationsFromSpecMatchLegacy) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kSC;
+  const auto legacy =
+      run_replications(scenario, 0.4, 2000, /*replications=*/3, /*base_seed=*/9);
+
+  exp::ScenarioSpec spec = exp::ScenarioSpec::from_paper(scenario);
+  spec.mode = exp::RunMode::kReplications;
+  spec.utilization = 0.4;
+  spec.sim_jobs = 2000;
+  spec.replications = 3;
+  spec.seed = 9;
+  const auto from_spec = run_replications(spec);
+
+  EXPECT_EQ(legacy.replication_means, from_spec.replication_means);
+  EXPECT_EQ(legacy.response_ci.mean, from_spec.response_ci.mean);
+  EXPECT_EQ(legacy.response_ci.halfwidth, from_spec.response_ci.halfwidth);
+}
+
+TEST(ScenarioSpecEquivalence, SaturationConfigMatchesLegacy) {
+  PaperScenario scenario;
+  scenario.policy = PolicyKind::kGS;
+  const auto legacy = make_saturation_config(scenario, 5000, /*seed=*/21);
+
+  exp::ScenarioSpec spec = exp::ScenarioSpec::from_paper(scenario);
+  spec.mode = exp::RunMode::kSaturation;
+  spec.saturation_completions = 5000;
+  spec.seed = 21;
+  const auto from_spec = exp::to_saturation_config(spec);
+
+  EXPECT_EQ(legacy.cluster_sizes, from_spec.cluster_sizes);
+  EXPECT_EQ(legacy.seed, from_spec.seed);
+  EXPECT_EQ(legacy.total_completions, from_spec.total_completions);
+  EXPECT_EQ(legacy.backlog, from_spec.backlog);
+  EXPECT_EQ(legacy.warmup_fraction, from_spec.warmup_fraction);
+}
+
+// Every checked-in scenario file must parse and validate, so a typo in
+// data/scenarios/ fails here, not in a user's experiment.
+TEST(CheckedInScenarios, AllParseAndValidate) {
+  const fs::path dir(MCSIM_SCENARIO_DIR);
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    ++count;
+    SCOPED_TRACE(entry.path().string());
+    exp::ScenarioSpec spec;
+    ASSERT_NO_THROW(spec = exp::load_scenario(entry.path().string()));
+    EXPECT_FALSE(spec.name.empty()) << "checked-in scenarios should be named";
+    // The spec must also be constructible, not just parseable.
+    if (spec.mode == exp::RunMode::kSaturation) {
+      EXPECT_NO_THROW(exp::to_saturation_config(spec));
+    } else {
+      EXPECT_NO_THROW(exp::to_simulation_config(spec));
+    }
+  }
+  EXPECT_GE(count, 10u) << "expected the paper evaluation set to be present";
+}
+
+TEST(ScenarioSpecLabel, FallsBackToPaperLabelAndAnnotatesExtensions) {
+  exp::ScenarioSpec spec;
+  spec.policy = PolicyKind::kLS;
+  EXPECT_EQ(spec.label(), spec.paper_scenario().label());
+
+  spec.policy = PolicyKind::kGS;
+  spec.backfill = BackfillMode::kEasy;
+  spec.discipline = QueueDiscipline::kShortestJobFirst;
+  EXPECT_NE(spec.label().find("easy-bf"), std::string::npos);
+  EXPECT_NE(spec.label().find("sjf"), std::string::npos);
+
+  spec.name = "custom";
+  EXPECT_EQ(spec.label(), "custom");
+}
+
+}  // namespace
+}  // namespace mcsim

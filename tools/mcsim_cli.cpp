@@ -1,6 +1,8 @@
 // mcsim — the unified command-line front end to the library.
 //
 // Subcommands (first positional argument):
+//   run          execute a scenario file (docs/SCENARIOS.md)
+//   rerun        replay a run bit-exactly from its run manifest
 //   point        one simulation at a target utilization, full metrics
 //   sweep        a response-vs-utilization curve for one scenario
 //   saturation   maximal utilization by constant backlog
@@ -9,6 +11,8 @@
 //   trace-stats  characterise an SWF trace
 //
 // Examples:
+//   mcsim run data/scenarios/fig3_gs_limit16.json --metrics-out=run.json
+//   mcsim rerun run.json
 //   mcsim point --policy=LS --utilization=0.55 --limit=16
 //   mcsim point --policy=GS --trace-out=run.swf --metrics-out=run.json
 //   mcsim sweep --policy=SC --from=0.3 --to=0.8 --step=0.05 --gnuplot=out/
@@ -17,18 +21,28 @@
 //   mcsim trace-gen --sim-jobs=30000 --out=das1.swf --sessions
 //   mcsim trace-stats das1.swf
 //
+// Every simulating command is a thin translator onto exp::ScenarioSpec —
+// the legacy flag commands build a spec from their flags, `run` loads one
+// from a file, and `rerun` extracts the one embedded in a manifest — and
+// all of them execute through the same spec executors below, so the same
+// experiment is bit-identical no matter how it was described. Pass
+// --emit-spec=FILE to a legacy command to write its flags as a scenario
+// file (and exit) instead of simulating.
+//
 // sweep and replications fan their independent runs out over --jobs worker
 // threads (default: all hardware threads); results are bit-identical to a
 // serial run for every --jobs value.
 //
-// point can export the run through the observability layer
-// (docs/TRACING.md): --trace-out writes the realised schedule as an SWF
-// trace, --metrics-out writes the JSON run manifest (provenance, config,
-// results, collected metrics), --events-out dumps the most recent
+// point (and run in point mode) can export the run through the
+// observability layer (docs/TRACING.md): --trace-out writes the realised
+// schedule as an SWF trace, --metrics-out writes the JSON run manifest
+// (provenance, config, results, collected metrics, and the scenario —
+// which is what `rerun` replays), --events-out dumps the most recent
 // lifecycle events in the binary ring format.
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "core/saturation.hpp"
 #include "exp/gnuplot.hpp"
@@ -36,7 +50,9 @@
 #include "exp/replications.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "exp/scenario_spec.hpp"
 #include "exp/sweep.hpp"
+#include "obs/json_reader.hpp"
 #include "obs/ring_recorder.hpp"
 #include "obs/swf_builder.hpp"
 #include "trace/swf.hpp"
@@ -56,19 +72,48 @@ void add_scenario_options(CliParser& parser) {
   parser.add_option("policy", "LS", "GS, LS, LP or SC");
   parser.add_option("limit", "16", "job-component-size limit (16, 24, 32, ...)");
   parser.add_option("extension", "1.25", "wide-area service-time extension factor");
+  parser.add_option("placement", "WF", "component placement rule: WF, FF or BF");
+  parser.add_option("backfill", "none", "GS/SC queue backfilling: none, aggressive, easy");
+  parser.add_option("discipline", "fcfs",
+                    "GS/SC queue order: fcfs, sjf, ljf, smallest-first, largest-first");
   parser.add_option("seed", "1", "master random seed");
+  parser.add_option("emit-spec", "", "write these flags as a scenario file and exit");
   parser.add_flag("unbalanced", "one local queue gets 40% of local submissions");
   parser.add_flag("das64", "cap total job sizes at 64 (DAS-s-64)");
 }
 
-PaperScenario scenario_from(const CliParser& parser) {
-  PaperScenario scenario;
-  scenario.policy = parse_policy(parser.get("policy"));
-  scenario.component_limit = static_cast<std::uint32_t>(parser.get_uint("limit"));
-  scenario.extension_factor = parser.get_double("extension");
-  scenario.balanced_queues = !parser.get_flag("unbalanced");
-  scenario.limit_total_size_64 = parser.get_flag("das64");
-  return scenario;
+/// The flag → spec translation shared by every legacy command.
+exp::ScenarioSpec spec_from(const CliParser& parser) {
+  exp::ScenarioSpec spec;
+  spec.policy = parse_policy_kind(parser.get("policy"));
+  spec.component_limit = static_cast<std::uint32_t>(parser.get_uint("limit"));
+  spec.extension_factor = parser.get_double("extension");
+  spec.placement = parse_placement_rule(parser.get("placement"));
+  spec.backfill = parse_backfill_mode(parser.get("backfill"));
+  spec.discipline = parse_queue_discipline(parser.get("discipline"));
+  spec.balanced_queues = !parser.get_flag("unbalanced");
+  spec.size_model = parser.get_flag("das64") ? "das-s-64" : "das-s-128";
+  spec.seed = parser.get_uint("seed");
+  return spec;
+}
+
+/// Handle --emit-spec: write the spec as a scenario file instead of
+/// simulating. Returns true when the command should exit (status in *code).
+bool emit_spec_requested(const CliParser& parser, const exp::ScenarioSpec& spec,
+                         int* code) {
+  const std::string path = parser.get("emit-spec");
+  if (path.empty()) return false;
+  exp::validate(spec);
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "mcsim: cannot open " << path << '\n';
+    *code = 1;
+    return true;
+  }
+  exp::write_scenario_file(out, spec);
+  std::cout << "scenario -> " << path << '\n';
+  *code = 0;
+  return true;
 }
 
 // argv here is the shifted subcommand view (argv[0] is the subcommand).
@@ -81,21 +126,20 @@ std::string join_command_line(int argc, const char* const* argv) {
   return joined;
 }
 
-int cmd_point(int argc, const char* const* argv) {
-  CliParser parser("mcsim point: one simulation at a target gross utilization");
-  add_scenario_options(parser);
-  parser.add_option("utilization", "0.5", "target gross utilization");
-  parser.add_option("sim-jobs", "30000", "simulated jobs");
+void add_point_output_options(CliParser& parser) {
   parser.add_option("trace-out", "", "write the realised schedule as an SWF trace");
   parser.add_option("metrics-out", "", "write the JSON run manifest (config, metrics)");
   parser.add_option("events-out", "", "dump recent lifecycle events (binary ring)");
   parser.add_option("ring", "65536", "event ring capacity for --events-out");
-  if (!parser.parse(argc, argv)) return 0;
+}
 
-  const auto scenario = scenario_from(parser);
-  const auto config = make_paper_config(scenario, parser.get_double("utilization"),
-                                        parser.get_uint("sim-jobs"),
-                                        parser.get_uint("seed"));
+/// Run one load point from a spec: simulate, export (trace / manifest /
+/// events as requested) and print the summary table. The spec is embedded
+/// in the manifest, so any manifest written here can be replayed with
+/// `mcsim rerun`.
+int execute_point(const exp::ScenarioSpec& spec, const CliParser& parser,
+                  const std::string& command_line) {
+  const SimulationConfig config = exp::to_simulation_config(spec);
 
   const std::string trace_out = parser.get("trace-out");
   const std::string metrics_out = parser.get("metrics-out");
@@ -119,9 +163,9 @@ int cmd_point(int argc, const char* const* argv) {
     // file reproduces them bit-exactly (docs/TRACING.md).
     SwfTrace trace = builder.trace();
     trace.header_comments = {
-        "mcsim realised schedule (" + scenario.label() + ")",
+        "mcsim realised schedule (" + spec.label() + ")",
         "Version: " + std::string(git_describe()),
-        "Command: " + join_command_line(argc, argv),
+        "Command: " + command_line,
         "Records are in job finish order; wait (field 4) and run (field 5)",
         "reconstruct the engine's response times exactly.",
     };
@@ -146,17 +190,18 @@ int cmd_point(int argc, const char* const* argv) {
       return 1;
     }
     ManifestInfo info;
-    info.command_line = join_command_line(argc, argv);
+    info.command_line = command_line;
     info.trace_path = trace_out;
     info.trace_records = builder.trace().records.size();
     info.events_recorded = recorder.total_recorded();
     info.events_dropped = recorder.dropped();
+    info.scenario = &spec;
     write_run_manifest(out, config, result, &metrics, info);
     std::cout << "manifest -> " << metrics_out << '\n';
   }
 
   TextTable table({"metric", "value"});
-  table.add_row({"scenario", scenario.label()});
+  table.add_row({"scenario", spec.label()});
   table.add_row({"status", result.unstable ? "UNSTABLE (beyond saturation)" : "stable"});
   table.add_row({"completed jobs", std::to_string(result.completed_jobs)});
   table.add_row({"mean response (s)", format_double(result.mean_response(), 1)});
@@ -179,6 +224,59 @@ int cmd_point(int argc, const char* const* argv) {
   return 0;
 }
 
+int execute_sweep(const exp::ScenarioSpec& spec, const std::string& gnuplot_dir) {
+  const auto series = run_sweep(spec);
+  print_panel(std::cout, "sweep: " + spec.label(), {series});
+  print_ascii_plot(std::cout, {series});
+  if (!gnuplot_dir.empty()) {
+    const auto files = write_gnuplot_panel(gnuplot_dir, "mcsim_sweep", spec.label(),
+                                           {series});
+    std::cout << "gnuplot script: " << files.script_path << '\n';
+  }
+  return 0;
+}
+
+int execute_saturation(const exp::ScenarioSpec& spec) {
+  const auto result = run_saturation(exp::to_saturation_config(spec));
+  TextTable table({"metric", "value"});
+  table.add_row({"scenario", spec.label()});
+  table.add_row({"maximal gross utilization", format_util(result.maximal_gross_utilization)});
+  table.add_row({"maximal net utilization", format_util(result.maximal_net_utilization)});
+  table.add_row({"completions", std::to_string(result.completions)});
+  std::cout << table.render();
+  return 0;
+}
+
+int execute_replications(const exp::ScenarioSpec& spec) {
+  const auto result = run_replications(spec);
+  TextTable table({"metric", "value"});
+  table.add_row({"scenario", spec.label()});
+  table.add_row({"stable replications", std::to_string(result.stable_replications())});
+  table.add_row({"unstable replications", std::to_string(result.unstable_replications)});
+  table.add_row({"mean response (s)", format_double(result.response_ci.mean, 1)});
+  table.add_row({"ci95 halfwidth (s)", format_double(result.response_ci.halfwidth, 1)});
+  table.add_row({"mean busy fraction", format_util(result.mean_busy_fraction)});
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_point(int argc, const char* const* argv) {
+  CliParser parser("mcsim point: one simulation at a target gross utilization");
+  add_scenario_options(parser);
+  parser.add_option("utilization", "0.5", "target gross utilization");
+  parser.add_option("sim-jobs", "30000", "simulated jobs");
+  add_point_output_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+
+  exp::ScenarioSpec spec = spec_from(parser);
+  spec.mode = exp::RunMode::kPoint;
+  spec.utilization = parser.get_double("utilization");
+  spec.sim_jobs = parser.get_uint("sim-jobs");
+  int code = 0;
+  if (emit_spec_requested(parser, spec, &code)) return code;
+  return execute_point(spec, parser, join_command_line(argc, argv));
+}
+
 int cmd_sweep(int argc, const char* const* argv) {
   CliParser parser("mcsim sweep: response-vs-utilization curve");
   add_scenario_options(parser);
@@ -191,22 +289,16 @@ int cmd_sweep(int argc, const char* const* argv) {
   parser.add_option("gnuplot", "", "write .dat/.gp into this directory");
   if (!parser.parse(argc, argv)) return 0;
 
-  SweepConfig config;
-  config.target_utilizations = SweepConfig::grid(
-      parser.get_double("from"), parser.get_double("to"), parser.get_double("step"));
-  config.jobs_per_point = parser.get_uint("sim-jobs");
-  config.seed = parser.get_uint("seed");
-  config.parallelism = static_cast<unsigned>(parser.get_uint("jobs"));
-  const auto series = run_sweep(scenario_from(parser), config);
-
-  print_panel(std::cout, "sweep: " + series.scenario.label(), {series});
-  print_ascii_plot(std::cout, {series});
-  if (const std::string dir = parser.get("gnuplot"); !dir.empty()) {
-    const auto files = write_gnuplot_panel(dir, "mcsim_sweep", series.scenario.label(),
-                                           {series});
-    std::cout << "gnuplot script: " << files.script_path << '\n';
-  }
-  return 0;
+  exp::ScenarioSpec spec = spec_from(parser);
+  spec.mode = exp::RunMode::kSweep;
+  spec.sweep_from = parser.get_double("from");
+  spec.sweep_to = parser.get_double("to");
+  spec.sweep_step = parser.get_double("step");
+  spec.sim_jobs = parser.get_uint("sim-jobs");
+  spec.parallelism = static_cast<unsigned>(parser.get_uint("jobs"));
+  int code = 0;
+  if (emit_spec_requested(parser, spec, &code)) return code;
+  return execute_sweep(spec, parser.get("gnuplot"));
 }
 
 int cmd_saturation(int argc, const char* const* argv) {
@@ -215,17 +307,12 @@ int cmd_saturation(int argc, const char* const* argv) {
   parser.add_option("completions", "40000", "jobs to complete");
   if (!parser.parse(argc, argv)) return 0;
 
-  const auto scenario = scenario_from(parser);
-  const auto result = run_saturation(
-      make_saturation_config(scenario, parser.get_uint("completions"),
-                             parser.get_uint("seed")));
-  TextTable table({"metric", "value"});
-  table.add_row({"scenario", scenario.label()});
-  table.add_row({"maximal gross utilization", format_util(result.maximal_gross_utilization)});
-  table.add_row({"maximal net utilization", format_util(result.maximal_net_utilization)});
-  table.add_row({"completions", std::to_string(result.completions)});
-  std::cout << table.render();
-  return 0;
+  exp::ScenarioSpec spec = spec_from(parser);
+  spec.mode = exp::RunMode::kSaturation;
+  spec.saturation_completions = parser.get_uint("completions");
+  int code = 0;
+  if (emit_spec_requested(parser, spec, &code)) return code;
+  return execute_saturation(spec);
 }
 
 int cmd_replications(int argc, const char* const* argv) {
@@ -238,21 +325,88 @@ int cmd_replications(int argc, const char* const* argv) {
                     "parallel replications (worker threads)");
   if (!parser.parse(argc, argv)) return 0;
 
-  const auto scenario = scenario_from(parser);
-  const auto result = run_replications(scenario, parser.get_double("utilization"),
-                                       parser.get_uint("sim-jobs"),
-                                       static_cast<std::uint32_t>(parser.get_uint("reps")),
-                                       parser.get_uint("seed"),
-                                       static_cast<unsigned>(parser.get_uint("jobs")));
-  TextTable table({"metric", "value"});
-  table.add_row({"scenario", scenario.label()});
-  table.add_row({"stable replications", std::to_string(result.stable_replications())});
-  table.add_row({"unstable replications", std::to_string(result.unstable_replications)});
-  table.add_row({"mean response (s)", format_double(result.response_ci.mean, 1)});
-  table.add_row({"ci95 halfwidth (s)", format_double(result.response_ci.halfwidth, 1)});
-  table.add_row({"mean busy fraction", format_util(result.mean_busy_fraction)});
-  std::cout << table.render();
-  return 0;
+  exp::ScenarioSpec spec = spec_from(parser);
+  spec.mode = exp::RunMode::kReplications;
+  spec.utilization = parser.get_double("utilization");
+  spec.sim_jobs = parser.get_uint("sim-jobs");
+  spec.replications = static_cast<std::uint32_t>(parser.get_uint("reps"));
+  spec.parallelism = static_cast<unsigned>(parser.get_uint("jobs"));
+  int code = 0;
+  if (emit_spec_requested(parser, spec, &code)) return code;
+  return execute_replications(spec);
+}
+
+/// Dispatch a loaded spec to the executor for its run mode; shared by
+/// `run` and `rerun`.
+int execute_spec(const exp::ScenarioSpec& spec, const CliParser& parser,
+                 const std::string& command_line) {
+  switch (spec.mode) {
+    case exp::RunMode::kPoint:
+      return execute_point(spec, parser, command_line);
+    case exp::RunMode::kSweep:
+      return execute_sweep(spec, parser.get("gnuplot"));
+    case exp::RunMode::kSaturation:
+      return execute_saturation(spec);
+    case exp::RunMode::kReplications:
+      return execute_replications(spec);
+  }
+  return 1;
+}
+
+void add_run_options(CliParser& parser) {
+  add_point_output_options(parser);
+  parser.add_option("gnuplot", "", "sweep mode: write .dat/.gp into this directory");
+  parser.add_option("seed", "", "override the scenario's master seed");
+  parser.add_option("jobs", "", "override the scenario's worker-thread count");
+}
+
+void apply_run_overrides(const CliParser& parser, exp::ScenarioSpec* spec) {
+  if (!parser.get("seed").empty()) spec->seed = parser.get_uint("seed");
+  if (!parser.get("jobs").empty()) {
+    spec->parallelism = static_cast<unsigned>(parser.get_uint("jobs"));
+  }
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  CliParser parser("mcsim run: execute a scenario file (docs/SCENARIOS.md)");
+  add_run_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  if (parser.positional().empty()) {
+    std::cerr << "usage: mcsim run <scenario.json> [options]\n";
+    return 1;
+  }
+  exp::ScenarioSpec spec = exp::load_scenario(parser.positional().front());
+  apply_run_overrides(parser, &spec);
+  return execute_spec(spec, parser, join_command_line(argc, argv));
+}
+
+int cmd_rerun(int argc, const char* const* argv) {
+  CliParser parser("mcsim rerun: replay a run bit-exactly from its run manifest");
+  add_run_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  if (parser.positional().empty()) {
+    std::cerr << "usage: mcsim rerun <manifest.json> [options]\n";
+    return 1;
+  }
+  const std::string path = parser.positional().front();
+  const obs::JsonValue document = obs::parse_json_file(path);
+  const obs::JsonValue* schema =
+      document.is_object() ? document.find("schema") : nullptr;
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "mcsim-run-manifest") {
+    std::cerr << "mcsim: " << path
+              << " is not a run manifest (use `mcsim run` for scenario files)\n";
+    return 1;
+  }
+  const obs::JsonValue* embedded = document.find("scenario");
+  if (embedded == nullptr) {
+    std::cerr << "mcsim: " << path
+              << " has no embedded scenario (written before scenario support?)\n";
+    return 1;
+  }
+  exp::ScenarioSpec spec = exp::scenario_from_json(*embedded);
+  apply_run_overrides(parser, &spec);
+  return execute_spec(spec, parser, join_command_line(argc, argv));
 }
 
 int cmd_trace_gen(int argc, const char* const* argv) {
@@ -309,6 +463,8 @@ void print_usage() {
       << "mcsim — trace-based multicluster co-allocation simulator (HPDC'03 repro)\n\n"
          "usage: mcsim <command> [options]   (each command supports --help)\n\n"
          "commands:\n"
+         "  run           execute a scenario file (docs/SCENARIOS.md)\n"
+         "  rerun         replay a run bit-exactly from its run manifest\n"
          "  point         one simulation at a target utilization\n"
          "  sweep         response-vs-utilization curve\n"
          "  saturation    maximal utilization (constant backlog)\n"
@@ -329,6 +485,8 @@ int main(int argc, char** argv) {
   const int sub_argc = argc - 1;
   const char* const* sub_argv = argv + 1;
   try {
+    if (command == "run") return cmd_run(sub_argc, sub_argv);
+    if (command == "rerun") return cmd_rerun(sub_argc, sub_argv);
     if (command == "point") return cmd_point(sub_argc, sub_argv);
     if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
     if (command == "saturation") return cmd_saturation(sub_argc, sub_argv);
@@ -340,7 +498,9 @@ int main(int argc, char** argv) {
       return 0;
     }
   } catch (const std::exception& error) {
-    std::cerr << "mcsim: " << error.what() << '\n';
+    // MCSIM_REQUIRE messages already carry the "mcsim: " prefix.
+    const std::string_view what = error.what();
+    std::cerr << (what.starts_with("mcsim: ") ? "" : "mcsim: ") << what << '\n';
     return 1;
   }
   std::cerr << "mcsim: unknown command '" << command << "'\n\n";
