@@ -64,7 +64,9 @@ void write_config(obs::JsonWriter& json, const SimulationConfig& config) {
   json.end_object();
 }
 
-void write_result(obs::JsonWriter& json, const SimulationResult& result) {
+}  // namespace
+
+void write_result_json(obs::JsonWriter& json, const SimulationResult& result) {
   json.begin_object();
   json.key("policy").value(result.policy);
   json.key("unstable").value(result.unstable);
@@ -112,8 +114,6 @@ void write_result(obs::JsonWriter& json, const SimulationResult& result) {
   json.end_object();
 }
 
-}  // namespace
-
 void write_run_manifest(std::ostream& out, const SimulationConfig& config,
                         const SimulationResult& result,
                         const obs::MetricsRegistry* metrics, const ManifestInfo& info) {
@@ -141,7 +141,7 @@ void write_run_manifest(std::ostream& out, const SimulationConfig& config,
   json.key("config");
   write_config(json, config);
   json.key("result");
-  write_result(json, result);
+  write_result_json(json, result);
 
   if (info.scenario != nullptr) {
     json.key("scenario");

@@ -20,6 +20,10 @@
 
 namespace mcsim {
 
+namespace obs {
+class JsonWriter;
+}  // namespace obs
+
 namespace exp {
 struct ScenarioSpec;
 }  // namespace exp
@@ -50,6 +54,11 @@ struct ManifestInfo {
   /// accepts manifests directly).
   const exp::ScenarioSpec* scenario = nullptr;
 };
+
+/// Write the manifest's result-statistics object ("result") on an
+/// already-open writer. Every field is deterministic given the config —
+/// the golden-run gate (exp/golden.hpp) pins exactly this object.
+void write_result_json(obs::JsonWriter& json, const SimulationResult& result);
 
 /// Write the manifest for one run as a JSON document. `metrics` may be
 /// null (the "metrics" object is then omitted); `info` fields that are

@@ -3,6 +3,7 @@
 // Subcommands (first positional argument):
 //   run          execute a scenario file (docs/SCENARIOS.md)
 //   rerun        replay a run bit-exactly from its run manifest
+//   verify       check every scenario against its golden record (docs/GOLDEN.md)
 //   point        one simulation at a target utilization, full metrics
 //   sweep        a response-vs-utilization curve for one scenario
 //   saturation   maximal utilization by constant backlog
@@ -13,6 +14,8 @@
 // Examples:
 //   mcsim run data/scenarios/fig3_gs_limit16.json --metrics-out=run.json
 //   mcsim rerun run.json
+//   mcsim verify data/golden                  # the regression gate CI runs
+//   mcsim verify data/golden --update         # re-pin after a reviewed change
 //   mcsim point --policy=LS --utilization=0.55 --limit=16
 //   mcsim point --policy=GS --trace-out=run.swf --metrics-out=run.json
 //   mcsim sweep --policy=SC --from=0.3 --to=0.8 --step=0.05 --gnuplot=out/
@@ -46,6 +49,7 @@
 
 #include "core/saturation.hpp"
 #include "exp/gnuplot.hpp"
+#include "exp/golden.hpp"
 #include "exp/manifest.hpp"
 #include "exp/replications.hpp"
 #include "exp/report.hpp"
@@ -409,6 +413,54 @@ int cmd_rerun(int argc, const char* const* argv) {
   return execute_spec(spec, parser, join_command_line(argc, argv));
 }
 
+int cmd_verify(int argc, const char* const* argv) {
+  CliParser parser(
+      "mcsim verify: run every checked-in scenario and compare against its "
+      "golden record (docs/GOLDEN.md)");
+  parser.add_option("scenarios", "data/scenarios", "directory of scenario files");
+  parser.add_option("mode", "bit-exact", "comparison tier: bit-exact or statistical");
+  parser.add_option("rel-tol", "1e-6", "statistical tier: relative tolerance");
+  parser.add_option("abs-tol", "1e-9", "statistical tier: absolute tolerance");
+  parser.add_option("jobs", std::to_string(exp::Runner::default_jobs()),
+                    "parallel scenario runs (worker threads)");
+  parser.add_flag("update", "regenerate the goldens from the current build");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const std::string golden_dir =
+      parser.positional().empty() ? "data/golden" : parser.positional().front();
+  exp::VerifyOptions options;
+  options.compare.mode = exp::parse_compare_mode(parser.get("mode"));
+  options.compare.rel_tol = parser.get_double("rel-tol");
+  options.compare.abs_tol = parser.get_double("abs-tol");
+  options.parallelism = static_cast<unsigned>(parser.get_uint("jobs"));
+  options.update = parser.get_flag("update");
+
+  const exp::VerifyReport report =
+      exp::verify_goldens(parser.get("scenarios"), golden_dir, options);
+
+  TextTable table({"scenario", "status", "detail"});
+  std::size_t passed = 0;
+  for (const exp::ScenarioVerdict& verdict : report.verdicts) {
+    table.add_row({verdict.scenario_file, exp::verify_status_name(verdict.status),
+                   verdict.detail});
+    if (verdict.status == exp::VerifyStatus::kPass ||
+        verdict.status == exp::VerifyStatus::kUpdated) {
+      ++passed;
+    }
+  }
+  std::cout << table.render();
+  std::cout << (options.update ? "updated " : "verified ") << passed << '/'
+            << report.verdicts.size() << " scenarios ("
+            << exp::compare_mode_name(options.compare.mode) << " tier) against "
+            << golden_dir << '\n';
+  if (!report.ok()) {
+    std::cerr << "mcsim verify: FAILED — " << (report.verdicts.size() - passed)
+              << " scenario(s) diverge from their goldens\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_trace_gen(int argc, const char* const* argv) {
   CliParser parser("mcsim trace-gen: synthesise a DAS1-like workload log (SWF)");
   // --sim-jobs, not --jobs: everywhere in the suite --jobs means worker
@@ -465,6 +517,7 @@ void print_usage() {
          "commands:\n"
          "  run           execute a scenario file (docs/SCENARIOS.md)\n"
          "  rerun         replay a run bit-exactly from its run manifest\n"
+         "  verify        check every scenario against its golden record\n"
          "  point         one simulation at a target utilization\n"
          "  sweep         response-vs-utilization curve\n"
          "  saturation    maximal utilization (constant backlog)\n"
@@ -487,6 +540,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "run") return cmd_run(sub_argc, sub_argv);
     if (command == "rerun") return cmd_rerun(sub_argc, sub_argv);
+    if (command == "verify") return cmd_verify(sub_argc, sub_argv);
     if (command == "point") return cmd_point(sub_argc, sub_argv);
     if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
     if (command == "saturation") return cmd_saturation(sub_argc, sub_argv);
