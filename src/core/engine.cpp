@@ -37,6 +37,29 @@ void SimulationConfig::validate() const {
                 "config: extension_factor must be >= 1");
   MCSIM_REQUIRE(instability_backlog_fraction >= 0.0 && instability_backlog_fraction <= 1.0,
                 "config: instability_backlog_fraction must be in [0,1]");
+  if (trace_workload != nullptr) {
+    MCSIM_REQUIRE(!trace_workload->records.empty(),
+                  "config: trace workload has no replayable records" +
+                      (trace_workload->source_path.empty()
+                           ? std::string()
+                           : " (" + trace_workload->source_path + ")"));
+    MCSIM_REQUIRE(trace_workload->arrival_scale > 0.0,
+                  "config: trace arrival_scale must be positive");
+    MCSIM_REQUIRE(total_jobs <= trace_workload->records.size(),
+                  "config: total_jobs (" + std::to_string(total_jobs) +
+                      ") exceeds the trace length (" +
+                      std::to_string(trace_workload->records.size()) + ")");
+    if (is_single_cluster_policy(policy)) {
+      MCSIM_REQUIRE(!trace_workload->split_jobs,
+                    "config: SC replay uses total requests (split_jobs = false)");
+    } else {
+      MCSIM_REQUIRE(trace_workload->num_clusters == cluster_sizes.size(),
+                    "config: trace workload num_clusters (" +
+                        std::to_string(trace_workload->num_clusters) +
+                        ") disagrees with the system layout (" +
+                        std::to_string(cluster_sizes.size()) + " clusters)");
+    }
+  }
   if (is_single_cluster_policy(policy)) {
     MCSIM_REQUIRE(cluster_sizes.size() == 1, "config: SC runs on a single cluster");
     MCSIM_REQUIRE(!workload.split_jobs,
@@ -51,20 +74,43 @@ void SimulationConfig::validate() const {
 }
 
 namespace {
-// Validates first: the engine's members (Multicluster, WorkloadGenerator)
-// are constructed from the config in the init list, so the config-level
-// checks must fire before any of them can trip on garbage.
+// Validates first: the engine's members (Multicluster, the job source) are
+// constructed from the config in the init list, so the config-level checks
+// must fire before any of them can trip on garbage.
 Multicluster make_system(const SimulationConfig& config) {
   config.validate();
   if (config.cluster_speeds.empty()) return Multicluster(config.cluster_sizes);
   return Multicluster(config.cluster_sizes, config.cluster_speeds);
+}
+
+// Adapts the synthetic WorkloadGenerator to the pull-based JobSource the
+// engine consumes; never exhausts.
+class SyntheticSource final : public JobSource {
+ public:
+  SyntheticSource(WorkloadConfig config, std::uint64_t seed)
+      : generator_(std::move(config), seed) {}
+
+  bool next(JobSpec& out) override {
+    out = generator_.next();
+    return true;
+  }
+
+ private:
+  WorkloadGenerator generator_;
+};
+
+std::unique_ptr<JobSource> make_source(const SimulationConfig& config) {
+  if (config.trace_workload != nullptr) {
+    return std::make_unique<TraceWorkload>(config.trace_workload);
+  }
+  return std::make_unique<SyntheticSource>(config.workload, config.seed);
 }
 }  // namespace
 
 MulticlusterSimulation::MulticlusterSimulation(SimulationConfig config)
     : config_(std::move(config)),
       system_(make_system(config_)),
-      generator_(config_.workload, config_.seed),
+      source_(make_source(config_)),
       utilization_(system_.total_processors(), 0.0) {
   scheduler_ = make_scheduler(config_.policy, *this, config_.placement, config_.backfill,
                               config_.discipline);
@@ -174,7 +220,8 @@ SimulationResult MulticlusterSimulation::run() {
 
 void MulticlusterSimulation::schedule_next_arrival() {
   if (arrivals_generated_ >= config_.total_jobs) return;
-  JobSpec spec = generator_.next();
+  JobSpec spec;
+  if (!source_->next(spec)) return;  // finite source (trace) ran dry
   ++arrivals_generated_;
   sim_.schedule_at(spec.arrival_time,
                    [this, spec = std::move(spec)]() mutable { on_arrival(std::move(spec)); });

@@ -1,12 +1,14 @@
-// The multicluster simulation engine: binds a workload generator, a
-// scheduling policy and the machine model to the DES core, and collects the
-// paper's metrics (response times overall and per queue class, gross and
-// net utilization).
+// The multicluster simulation engine: binds a workload source (the
+// synthetic generator, or a replayed trace), a scheduling policy and the
+// machine model to the DES core, and collects the paper's metrics
+// (response times overall and per queue class, gross and net utilization).
 //
-// A run generates `total_jobs` Poisson arrivals and executes until all of
-// them complete, unless the instability guard trips (a queue exceeding
-// `instability_queue_limit` means the offered load is beyond the policy's
-// maximal utilization — the response time has no steady state there).
+// A run draws `total_jobs` arrivals from the source — Poisson draws for
+// the synthetic workload, recorded submit times for a trace — and executes
+// until all of them complete, unless the instability guard trips (a queue
+// exceeding `instability_queue_limit` means the offered load is beyond the
+// policy's maximal utilization — the response time has no steady state
+// there).
 // The first `warmup_fraction` of completions is discarded from all
 // statistics.
 #pragma once
@@ -23,6 +25,8 @@
 #include "stats/batch_means.hpp"
 #include "stats/percentile.hpp"
 #include "stats/utilization.hpp"
+#include "workload/job_source.hpp"
+#include "workload/trace_workload.hpp"
 #include "workload/workload.hpp"
 
 namespace mcsim {
@@ -36,6 +40,12 @@ struct SimulationConfig {
   /// toward the heterogeneous-grid setting the paper motivates).
   std::vector<double> cluster_speeds;
   WorkloadConfig workload;
+  /// When set, arrivals replay this recorded trace instead of being drawn
+  /// from `workload`'s synthetic distributions (whose size/service/arrival
+  /// fields are then unused; the splitting parameters live in the trace
+  /// config itself). Shared immutably: copies of this config across sweep
+  /// points and runner threads all reference one loaded trace.
+  std::shared_ptr<const TraceWorkloadConfig> trace_workload;
   PlacementRule placement = PlacementRule::kWorstFit;
   /// Extension (paper: kNone). GS/SC only.
   BackfillMode backfill = BackfillMode::kNone;
@@ -156,7 +166,7 @@ class MulticlusterSimulation final : public SchedulerContext {
   SimulationConfig config_;
   Simulator sim_;
   Multicluster system_;
-  WorkloadGenerator generator_;
+  std::unique_ptr<JobSource> source_;
   std::unique_ptr<Scheduler> scheduler_;
   UtilizationTracker utilization_;
   TimeWeightedStat queue_length_;

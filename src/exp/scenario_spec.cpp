@@ -1,13 +1,16 @@
 #include "exp/scenario_spec.hpp"
 
+#include <filesystem>
 #include <ostream>
 
 #include "exp/sweep.hpp"
 #include "obs/json.hpp"
 #include "obs/json_reader.hpp"
+#include "trace/swf.hpp"
 #include "util/assert.hpp"
 #include "util/strings.hpp"
 #include "workload/das_workload.hpp"
+#include "workload/trace_workload.hpp"
 
 namespace mcsim::exp {
 
@@ -176,6 +179,20 @@ void validate(const ScenarioSpec& spec) {
   MCSIM_REQUIRE(spec.warmup_fraction >= 0.0 && spec.warmup_fraction < 1.0,
                 "scenario: warmup_fraction must be in [0,1)");
   MCSIM_REQUIRE(spec.batch_count > 0, "scenario: batch_count must be positive");
+  if (spec.is_trace()) {
+    MCSIM_REQUIRE(spec.trace_scale > 0.0,
+                  "scenario: trace arrival_scale must be positive");
+    MCSIM_REQUIRE(spec.mode == RunMode::kPoint || spec.mode == RunMode::kSweep,
+                  "scenario: trace replay supports point and sweep modes only "
+                  "(saturation ignores arrival times, and a recorded trace has "
+                  "no independent randomness to replicate)");
+    MCSIM_REQUIRE(spec.mode != RunMode::kSweep || spec.trace_scale == 1.0,
+                  "scenario: a trace sweep derives the arrival scale from each "
+                  "target utilization; leave arrival_scale at 1");
+    MCSIM_REQUIRE(spec.request_type == RequestType::kUnordered,
+                  "scenario: trace replay supports unordered requests only "
+                  "(the log does not record per-cluster orderings)");
+  }
   switch (spec.mode) {
     case RunMode::kPoint:
     case RunMode::kReplications:
@@ -220,13 +237,40 @@ SimulationConfig to_simulation_config(const ScenarioSpec& spec, double utilizati
   config.cluster_sizes = effective_layout(spec);
   config.cluster_speeds = spec.cluster_speeds;
   config.workload = make_workload(spec, config.cluster_sizes.size());
-  config.workload.arrival_rate = config.workload.rate_for_gross_utilization(
-      utilization, config.total_processors());
+  if (spec.is_trace()) {
+    // Load and filter the log; the splitting parameters mirror what the
+    // synthetic workload would have used, so a trace exported from a run
+    // replays with identical component tuples.
+    const SwfTrace swf = read_swf_file(spec.trace_path);
+    auto trace = std::make_shared<TraceWorkloadConfig>();
+    trace->records = usable_trace_records(swf.records);
+    MCSIM_REQUIRE(!trace->records.empty(),
+                  "scenario: trace " + spec.trace_path + " has no replayable records");
+    trace->skipped_records = swf.records.size() - trace->records.size();
+    trace->component_limit = config.workload.component_limit;
+    trace->num_clusters = config.workload.num_clusters;
+    trace->extension_factor = config.workload.extension_factor;
+    trace->split_jobs = config.workload.split_jobs;
+    trace->source_path = spec.trace_path;
+    // Point mode replays at the spec's fixed scale; a sweep re-scales the
+    // submit axis per target utilization (the paper's Fig. 3 methodology
+    // applied to a recorded log).
+    trace->arrival_scale =
+        spec.mode == RunMode::kSweep
+            ? trace_scale_for_utilization(trace->records,
+                                          config.total_processors(), utilization)
+            : spec.trace_scale;
+    config.total_jobs = trace->records.size();
+    config.trace_workload = std::move(trace);
+  } else {
+    config.workload.arrival_rate = config.workload.rate_for_gross_utilization(
+        utilization, config.total_processors());
+    config.total_jobs = spec.sim_jobs;
+  }
   config.placement = spec.placement;
   config.backfill = spec.backfill;
   config.discipline = spec.discipline;
   config.seed = spec.seed;
-  config.total_jobs = spec.sim_jobs;
   config.warmup_fraction = spec.warmup_fraction;
   config.batch_count = spec.batch_count;
   return config;
@@ -273,6 +317,14 @@ void write_scenario_json(obs::JsonWriter& json, const ScenarioSpec& spec) {
   json.end_object();
 
   json.key("workload").begin_object();
+  // Trace keys are only emitted for trace replays, keeping the synthetic
+  // output byte-identical to what pre-trace versions wrote (manifests are
+  // compared verbatim by the rerun tests).
+  if (spec.is_trace()) {
+    json.key("type").value("trace");
+    json.key("path").value(spec.trace_path);
+    json.key("arrival_scale").value(spec.trace_scale);
+  }
   json.key("size_model").value(spec.size_model);
   json.key("component_limit").value(static_cast<std::uint64_t>(spec.component_limit));
   json.key("extension_factor").value(spec.extension_factor);
@@ -357,8 +409,18 @@ void read_system(const obs::JsonValue& value, ScenarioSpec& spec) {
 }
 
 void read_workload(const obs::JsonValue& value, ScenarioSpec& spec) {
+  std::string workload_type;
   for (const auto& [key, v] : value.members()) {
-    if (key == "size_model") {
+    if (key == "type") {
+      workload_type = to_lower(v.as_string());
+      MCSIM_REQUIRE(workload_type == "synthetic" || workload_type == "trace",
+                    "scenario: unknown workload type \"" + v.as_string() +
+                        "\" (expected synthetic or trace)");
+    } else if (key == "path") {
+      spec.trace_path = v.as_string();
+    } else if (key == "arrival_scale") {
+      spec.trace_scale = v.as_double();
+    } else if (key == "size_model") {
       spec.size_model = v.as_string();
     } else if (key == "component_limit") {
       spec.component_limit = static_cast<std::uint32_t>(v.as_uint());
@@ -374,6 +436,12 @@ void read_workload(const obs::JsonValue& value, ScenarioSpec& spec) {
       MCSIM_REQUIRE(false, "scenario: unknown workload key \"" + key + "\"");
     }
   }
+  // `type` may be omitted (presence of `path` decides), but when given it
+  // must agree with the rest of the object.
+  MCSIM_REQUIRE(workload_type != "trace" || !spec.trace_path.empty(),
+                "scenario: workload type \"trace\" needs a path");
+  MCSIM_REQUIRE(workload_type != "synthetic" || spec.trace_path.empty(),
+                "scenario: workload has a trace path but type \"synthetic\"");
 }
 
 void read_policy(const obs::JsonValue& value, ScenarioSpec& spec) {
@@ -478,10 +546,25 @@ ScenarioSpec scenario_from_json(const obs::JsonValue& value) {
   return spec;
 }
 
+namespace {
+// A scenario file saying `path: "../trace.swf"` means relative to itself,
+// not to wherever mcsim happens to be invoked from — the checked-in trace
+// scenarios must work from any working directory.
+void resolve_trace_path(ScenarioSpec& spec, const std::string& scenario_path) {
+  if (spec.trace_path.empty()) return;
+  const std::filesystem::path trace(spec.trace_path);
+  if (trace.is_absolute()) return;
+  spec.trace_path = (std::filesystem::path(scenario_path).parent_path() / trace)
+                        .lexically_normal()
+                        .generic_string();
+}
+}  // namespace
+
 ScenarioSpec load_scenario(const std::string& path) {
   const obs::JsonValue document = obs::parse_json_file(path);
   MCSIM_REQUIRE(document.is_object(), "scenario: " + path + " is not a JSON object");
   const obs::JsonValue* schema = document.find("schema");
+  ScenarioSpec spec;
   if (schema != nullptr && schema->is_string() &&
       schema->as_string() == "mcsim-run-manifest") {
     const obs::JsonValue* embedded = document.find("scenario");
@@ -489,9 +572,12 @@ ScenarioSpec load_scenario(const std::string& path) {
                   "scenario: " + path +
                       " is a run manifest without an embedded scenario "
                       "(written before scenario support?)");
-    return scenario_from_json(*embedded);
+    spec = scenario_from_json(*embedded);
+  } else {
+    spec = scenario_from_json(document);
   }
-  return scenario_from_json(document);
+  resolve_trace_path(spec, path);
+  return spec;
 }
 
 }  // namespace mcsim::exp

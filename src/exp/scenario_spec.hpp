@@ -72,6 +72,17 @@ struct ScenarioSpec {
   std::vector<double> queue_weights;
   /// Request structure (unordered reproduces the paper).
   RequestType request_type = RequestType::kUnordered;
+  /// Non-empty switches the workload to trace replay (`workload.type:
+  /// "trace"`): arrivals, sizes and runtimes come from this SWF log
+  /// instead of the synthetic distributions (size_model and the arrival
+  /// process are then unused; component_limit/extension_factor still
+  /// drive the splitting). Relative paths in scenario files resolve
+  /// against the file's directory (load_scenario).
+  std::string trace_path;
+  /// Trace replay: multiplies every submit time (< 1 compresses the trace
+  /// and raises the offered load; the sweep mode ignores this and derives
+  /// a scale per target utilization).
+  double trace_scale = 1.0;
 
   // -- policy -----------------------------------------------------------
   PolicyKind policy = PolicyKind::kGS;
@@ -102,6 +113,10 @@ struct ScenarioSpec {
   std::uint64_t batch_count = 20;
   /// Worker threads for sweep/replications fan-out (0 = all cores).
   unsigned parallelism = 1;
+
+  /// True when this spec replays a recorded trace instead of drawing the
+  /// synthetic workload.
+  [[nodiscard]] bool is_trace() const { return !trace_path.empty(); }
 
   [[nodiscard]] std::string label() const;
 

@@ -28,8 +28,13 @@ struct SwfTrace {
   std::vector<TraceRecord> records;
 };
 
-/// Parse an SWF stream. Throws std::invalid_argument on malformed lines.
-SwfTrace read_swf(std::istream& in);
+/// Parse an SWF stream. Tolerant of what real Parallel Workloads Archive
+/// logs contain: CRLF line endings, blank lines, ';' comments anywhere,
+/// and truncated lines (absent trailing fields read as -1, SWF's
+/// "unknown"). Throws std::invalid_argument on anything else — non-numeric
+/// fields, more than 18 columns, or a record with no processor count —
+/// with a `source:line:` prefix locating the offending record.
+SwfTrace read_swf(std::istream& in, const std::string& source = "<swf>");
 
 /// Load from a file path.
 SwfTrace read_swf_file(const std::string& path);

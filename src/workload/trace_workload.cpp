@@ -1,0 +1,96 @@
+#include "workload/trace_workload.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "workload/job_splitter.hpp"
+
+namespace mcsim {
+
+std::vector<TraceRecord> usable_trace_records(const std::vector<TraceRecord>& raw) {
+  std::vector<TraceRecord> usable;
+  usable.reserve(raw.size());
+  for (const TraceRecord& rec : raw) {
+    // Cancelled-before-start jobs (run 0), interactive stubs (0 procs) and
+    // records with unknown submit times offer no work to schedule.
+    if (rec.processors == 0 || rec.run_time <= 0.0 || rec.submit_time < 0.0) continue;
+    usable.push_back(rec);
+  }
+  std::sort(usable.begin(), usable.end(), [](const TraceRecord& a, const TraceRecord& b) {
+    if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+    return a.job_id < b.job_id;
+  });
+  return usable;
+}
+
+double trace_offered_gross_utilization(const std::vector<TraceRecord>& records,
+                                       std::uint32_t total_processors) {
+  MCSIM_REQUIRE(total_processors > 0, "trace utilization needs a non-empty system");
+  if (records.empty()) return 0.0;
+  double work = 0.0;
+  double first = records.front().submit_time;
+  double last = first;
+  for (const TraceRecord& rec : records) {
+    work += static_cast<double>(rec.processors) * rec.run_time;
+    first = std::min(first, rec.submit_time);
+    last = std::max(last, rec.submit_time);
+  }
+  const double span = last - first;
+  if (span <= 0.0) return 0.0;
+  return work / (static_cast<double>(total_processors) * span);
+}
+
+double trace_scale_for_utilization(const std::vector<TraceRecord>& records,
+                                   std::uint32_t total_processors, double target) {
+  MCSIM_REQUIRE(target > 0.0, "target utilization must be positive");
+  const double inherent = trace_offered_gross_utilization(records, total_processors);
+  MCSIM_REQUIRE(inherent > 0.0,
+                "trace offers no load (empty, zero-span, or zero-work) -- "
+                "cannot scale to a target utilization");
+  return inherent / target;
+}
+
+TraceWorkload::TraceWorkload(std::shared_ptr<const TraceWorkloadConfig> config)
+    : config_(std::move(config)) {
+  MCSIM_REQUIRE(config_ != nullptr, "trace workload needs a config");
+  MCSIM_REQUIRE(config_->arrival_scale > 0.0, "trace arrival_scale must be positive");
+  MCSIM_REQUIRE(config_->num_clusters > 0, "trace workload needs at least one cluster");
+  MCSIM_REQUIRE(!config_->split_jobs || config_->component_limit > 0,
+                "trace component_limit must be positive when splitting");
+  MCSIM_REQUIRE(config_->extension_factor >= 1.0, "extension factor must be >= 1");
+}
+
+bool TraceWorkload::next(JobSpec& out) {
+  if (next_index_ >= config_->records.size()) return false;
+  const TraceRecord& rec = config_->records[next_index_];
+
+  JobSpec job;
+  // Sequential ids (not the log's): replay ids must match what a synthetic
+  // run would have assigned so an exported-then-replayed schedule lines up
+  // job-for-job with its origin.
+  job.id = next_index_;
+  job.arrival_time = rec.submit_time * config_->arrival_scale;
+  job.total_size = rec.processors;
+  if (config_->split_jobs) {
+    job.request_type = RequestType::kUnordered;
+    job.components = split_job(rec.processors, config_->component_limit,
+                               config_->num_clusters);
+  } else {
+    job.request_type = RequestType::kTotal;
+    job.components = {rec.processors};
+  }
+  job.wide_area = job.components.size() > 1;
+  // The log records elapsed execution time, i.e. the *gross* (extended)
+  // service time; the net time is only used for slowdown reporting.
+  job.gross_service_time = rec.run_time;
+  job.service_time =
+      job.wide_area ? rec.run_time / config_->extension_factor : rec.run_time;
+  job.origin_queue = rec.user_id % config_->num_clusters;
+
+  ++next_index_;
+  out = std::move(job);
+  return true;
+}
+
+}  // namespace mcsim

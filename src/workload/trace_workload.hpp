@@ -1,0 +1,102 @@
+// Trace-driven arrival source: replays the jobs of a recorded workload log
+// (SWF records) through the engine instead of drawing them from the
+// synthetic DAS distributions.
+//
+// The mapping from an SWF record to a JobSpec mirrors, in reverse, what
+// obs::SwfTraceBuilder writes on export (docs/TRACING.md):
+//
+//   submit time (f2)  -> arrival_time, multiplied by `arrival_scale`
+//   run time (f4)     -> gross service time, verbatim
+//   processors (f5)   -> total_size, split into components by the same
+//                        job_splitter the synthetic workload uses
+//   user id (f12)     -> origin_queue (user mod num_clusters)
+//
+// Wait time (f3) is deliberately ignored on input: it is an *output* of
+// the original system, and the whole point of replay is to let our
+// schedulers produce their own waits from the same offered stream. The
+// closed round-trip property (tests/trace_replay_roundtrip_test.cpp)
+// checks the special case where the log being replayed was produced by
+// this simulator under the same policy: the waits then come back
+// bit-identically.
+//
+// `arrival_scale` compresses (< 1) or stretches (> 1) the submit axis so a
+// single trace can sweep a utilization range, the paper's Fig. 3
+// methodology applied to a recorded log: service demand is untouched, so
+// scaling submit times by s divides the offered load by s.
+//
+// Depends only on the header-only trace/record.hpp — file I/O (read_swf)
+// stays in mcsim_trace, which links *against* this library, so loading a
+// trace from disk into a TraceWorkloadConfig happens one layer up (exp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "workload/job_source.hpp"
+#include "workload/workload.hpp"
+
+namespace mcsim {
+
+/// Everything needed to replay a trace: the (filtered, submit-ordered)
+/// records plus the splitting parameters the synthetic workload would have
+/// used. Shared immutably so a SimulationConfig stays cheap to copy across
+/// sweep points and runner threads.
+struct TraceWorkloadConfig {
+  /// Records to replay, sorted by (submit_time, job_id). Use
+  /// usable_trace_records() to build this from a raw SWF read.
+  std::vector<TraceRecord> records;
+  /// Multiplies every submit time; < 1 compresses the trace (raises load).
+  double arrival_scale = 1.0;
+  /// Component-size limit handed to split_job (as WorkloadConfig).
+  std::uint32_t component_limit = 16;
+  std::uint32_t num_clusters = 4;
+  /// Wide-area service extension applied to multi-component jobs. The
+  /// trace's run time is taken as the *gross* (already-extended) time, so
+  /// this only affects the derived net service_time.
+  double extension_factor = 1.25;
+  /// false = total requests (single-cluster SC runs): one component of the
+  /// full size, never extended.
+  bool split_jobs = true;
+  /// Provenance only (error messages, manifests); may be empty.
+  std::string source_path;
+  /// How many raw records usable_trace_records() dropped (provenance).
+  std::uint64_t skipped_records = 0;
+};
+
+/// Filter a raw trace down to replayable records (positive processor count
+/// and run time, non-negative submit) and sort by (submit_time, job_id) so
+/// replay order is deterministic regardless of log order.
+[[nodiscard]] std::vector<TraceRecord> usable_trace_records(
+    const std::vector<TraceRecord>& raw);
+
+/// Offered gross utilization inherent in a trace on `total_processors`
+/// CPUs: sum(processors * run) / (total_processors * submit span). Returns
+/// 0 when the submit span is empty (single arrival instant).
+[[nodiscard]] double trace_offered_gross_utilization(
+    const std::vector<TraceRecord>& records, std::uint32_t total_processors);
+
+/// Arrival scale that makes `records` offer gross utilization `target` on
+/// `total_processors` CPUs: scaling submits by s divides offered load by
+/// s, so s = inherent / target.
+[[nodiscard]] double trace_scale_for_utilization(
+    const std::vector<TraceRecord>& records, std::uint32_t total_processors,
+    double target);
+
+class TraceWorkload : public JobSource {
+ public:
+  explicit TraceWorkload(std::shared_ptr<const TraceWorkloadConfig> config);
+
+  bool next(JobSpec& out) override;
+
+  [[nodiscard]] const TraceWorkloadConfig& config() const { return *config_; }
+  [[nodiscard]] std::uint64_t jobs_emitted() const { return next_index_; }
+
+ private:
+  std::shared_ptr<const TraceWorkloadConfig> config_;
+  std::uint64_t next_index_ = 0;
+};
+
+}  // namespace mcsim

@@ -46,7 +46,11 @@ std::string golden_text_for(const exp::ScenarioSpec& spec,
 class VerifyDriverTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = fs::temp_directory_path() / "mcsim_golden_test";
+    // Per-test scratch: ctest runs every case as its own process, so a
+    // shared path would let parallel cases clobber each other.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("mcsim_golden_test_") + info->name());
     fs::remove_all(root_);
     scenario_dir_ = (root_ / "scenarios").string();
     golden_dir_ = (root_ / "golden").string();

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 namespace mcsim {
@@ -91,8 +92,113 @@ TEST(Swf, SkipsBlankLines) {
 }
 
 TEST(Swf, MalformedLineThrows) {
+  // Three fields fill job id / submit / wait; the processor count (fields 5
+  // and 8) is still missing, so the record is unusable.
   std::istringstream in("1 2 3\n");
   EXPECT_THROW(read_swf(in), std::invalid_argument);
+}
+
+// --- hardening for real Parallel Workloads Archive logs -----------------
+
+TEST(Swf, TolleratesCrlfLineEndings) {
+  std::istringstream in(
+      "; archive log saved on Windows\r\n"
+      "1 0 10 360 32 -1 -1 32 -1 -1 1 5 -1 -1 -1 -1 -1 -1\r\n"
+      "\r\n"
+      "2 5 0 60 8 -1 -1 8 -1 -1 1 2 -1 -1 -1 -1 -1 -1\r\n");
+  const SwfTrace trace = read_swf(in);
+  ASSERT_EQ(trace.records.size(), 2u);
+  EXPECT_EQ(trace.records[0].processors, 32u);
+  EXPECT_DOUBLE_EQ(trace.records[1].submit_time, 5.0);
+  ASSERT_EQ(trace.header_comments.size(), 1u);
+  EXPECT_EQ(trace.header_comments[0], "archive log saved on Windows");
+}
+
+TEST(Swf, TolleratesMidFileComments) {
+  std::istringstream in(
+      "1 0 0 10 4 -1 -1 4 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n"
+      "; a comment between records\n"
+      "2 1 0 10 4 -1 -1 4 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n");
+  const SwfTrace trace = read_swf(in);
+  EXPECT_EQ(trace.records.size(), 2u);
+  EXPECT_EQ(trace.header_comments.size(), 1u);
+}
+
+TEST(Swf, TruncatedLineReadsMissingTrailingFieldsAsUnknown) {
+  // Some archive logs drop unused trailing columns. Eight fields are
+  // enough for the model: status and user default to "unknown" (-1).
+  std::istringstream in("9 100 5 60 16 -1 -1 16\n");
+  const SwfTrace trace = read_swf(in);
+  ASSERT_EQ(trace.records.size(), 1u);
+  const auto& rec = trace.records[0];
+  EXPECT_EQ(rec.job_id, 9u);
+  EXPECT_DOUBLE_EQ(rec.submit_time, 100.0);
+  EXPECT_EQ(rec.processors, 16u);
+  EXPECT_EQ(rec.user_id, 0u);  // -1 maps to user 0
+  EXPECT_FALSE(rec.killed_by_limit);
+}
+
+TEST(Swf, ExtraFieldsThrow) {
+  std::istringstream in(
+      "1 0 0 10 4 -1 -1 4 -1 -1 1 0 -1 -1 -1 -1 -1 -1 99\n");
+  EXPECT_THROW(read_swf(in), std::invalid_argument);
+}
+
+TEST(Swf, NonNumericFieldReportsSourceAndLine) {
+  std::istringstream in(
+      "1 0 0 10 4 -1 -1 4 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n"
+      "2 0 0 oops 4 -1 -1 4 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n");
+  try {
+    read_swf(in, "jobs.swf");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("jobs.swf:2:"), std::string::npos) << what;
+    EXPECT_NE(what.find("field 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("oops"), std::string::npos) << what;
+  }
+}
+
+TEST(Swf, PartiallyNumericTokenThrows) {
+  // strtod would happily parse the "12" prefix of "12x"; the reader must
+  // insist on full-token consumption.
+  std::istringstream in("1 0 0 12x 4 -1 -1 4 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_THROW(read_swf(in), std::invalid_argument);
+}
+
+TEST(Swf, MissingProcessorCountNamesLine) {
+  // Both field 5 and field 8 say "unknown": nothing to schedule.
+  std::istringstream in("1 0 0 10 -1 -1 -1 -1 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n");
+  try {
+    read_swf(in, "p.swf");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("p.swf:1:"), std::string::npos) << what;
+    EXPECT_NE(what.find("processor count"), std::string::npos) << what;
+  }
+}
+
+TEST(Swf, FileParseErrorNamesThePath) {
+  const std::string path = ::testing::TempDir() + "/mcsim_swf_bad.swf";
+  {
+    std::ofstream out(path);
+    out << "; header\n1 0 0 bad 4 -1 -1 4 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n";
+  }
+  try {
+    read_swf_file(path);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(path + ":2:"), std::string::npos) << what;
+  }
+}
+
+TEST(Swf, TabSeparatedFieldsParse) {
+  std::istringstream in("1\t0\t0\t10\t4\t-1\t-1\t4\t-1\t-1\t1\t0\t-1\t-1\t-1\t-1\t-1\t-1\n");
+  const SwfTrace trace = read_swf(in);
+  ASSERT_EQ(trace.records.size(), 1u);
+  EXPECT_EQ(trace.records[0].processors, 4u);
 }
 
 TEST(Swf, MissingFileThrows) {

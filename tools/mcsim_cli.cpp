@@ -5,6 +5,7 @@
 //   rerun        replay a run bit-exactly from its run manifest
 //   verify       check every scenario against its golden record (docs/GOLDEN.md)
 //   point        one simulation at a target utilization, full metrics
+//   replay       drive the schedulers from a recorded SWF trace
 //   sweep        a response-vs-utilization curve for one scenario
 //   saturation   maximal utilization by constant backlog
 //   replications independent-replication CI for one load point
@@ -18,6 +19,8 @@
 //   mcsim verify data/golden --update         # re-pin after a reviewed change
 //   mcsim point --policy=LS --utilization=0.55 --limit=16
 //   mcsim point --policy=GS --trace-out=run.swf --metrics-out=run.json
+//   mcsim replay run.swf --policy=GS --verify-against=run.json
+//   mcsim replay das1.swf --policy=LS --scale=0.5   # double the offered load
 //   mcsim sweep --policy=SC --from=0.3 --to=0.8 --step=0.05 --gnuplot=out/
 //   mcsim sweep --policy=LS --jobs=8          # 8 parallel runs, same output
 //   mcsim saturation --policy=GS --limit=24
@@ -44,6 +47,7 @@
 // lifecycle events in the binary ring format.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 
@@ -56,6 +60,7 @@
 #include "exp/runner.hpp"
 #include "exp/scenario_spec.hpp"
 #include "exp/sweep.hpp"
+#include "obs/json.hpp"
 #include "obs/json_reader.hpp"
 #include "obs/ring_recorder.hpp"
 #include "obs/swf_builder.hpp"
@@ -140,9 +145,11 @@ void add_point_output_options(CliParser& parser) {
 /// Run one load point from a spec: simulate, export (trace / manifest /
 /// events as requested) and print the summary table. The spec is embedded
 /// in the manifest, so any manifest written here can be replayed with
-/// `mcsim rerun`.
+/// `mcsim rerun`. `result_out`, when given, receives the run's result
+/// (used by `replay --verify-against`).
 int execute_point(const exp::ScenarioSpec& spec, const CliParser& parser,
-                  const std::string& command_line) {
+                  const std::string& command_line,
+                  SimulationResult* result_out = nullptr) {
   const SimulationConfig config = exp::to_simulation_config(spec);
 
   const std::string trace_out = parser.get("trace-out");
@@ -225,6 +232,7 @@ int execute_point(const exp::ScenarioSpec& spec, const CliParser& parser,
         {"global-queue response (s)", format_double(result.response_global.mean(), 1)});
   }
   std::cout << table.render();
+  if (result_out != nullptr) *result_out = result;
   return 0;
 }
 
@@ -279,6 +287,102 @@ int cmd_point(int argc, const char* const* argv) {
   int code = 0;
   if (emit_spec_requested(parser, spec, &code)) return code;
   return execute_point(spec, parser, join_command_line(argc, argv));
+}
+
+// The statistic groups a replay must reproduce bit-exactly from the run
+// that exported its trace: everything derived from per-job waits and
+// responses. Slowdown and the net-utilization figures are excluded by
+// design — the log stores only gross runtimes, so the replay reconstructs
+// net service as run/extension, which is not guaranteed to be the
+// bit-exact inverse of the original service*extension (docs/TRACING.md).
+constexpr const char* kReplayInvariantKeys[] = {
+    "completed_jobs", "measured_jobs", "mean_response", "response", "wait",
+};
+
+/// `replay --verify-against=<manifest>`: compare the replay's result
+/// against the result recorded in the manifest of the original run,
+/// bit-exactly, over the replay-invariant statistics. Returns non-zero and
+/// names the first diverging leaf on mismatch — the CLI face of the closed
+/// round-trip property (tests/trace_replay_roundtrip_test.cpp).
+int verify_replay_against(const SimulationResult& result,
+                          const std::string& manifest_path) {
+  const obs::JsonValue document = obs::parse_json_file(manifest_path);
+  const obs::JsonValue* schema =
+      document.is_object() ? document.find("schema") : nullptr;
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "mcsim-run-manifest") {
+    std::cerr << "mcsim replay: " << manifest_path << " is not a run manifest\n";
+    return 1;
+  }
+  const obs::JsonValue* expected = document.find("result");
+  if (expected == nullptr || !expected->is_object()) {
+    std::cerr << "mcsim replay: " << manifest_path << " has no result object\n";
+    return 1;
+  }
+
+  std::ostringstream serialized;
+  {
+    obs::JsonWriter json(serialized);
+    write_result_json(json, result);
+  }
+  const obs::JsonValue got = obs::parse_json(serialized.str());
+
+  const exp::GoldenOptions bit_exact;  // default mode is kBitExact
+  for (const char* key : kReplayInvariantKeys) {
+    const obs::JsonValue* want = expected->find(key);
+    if (want == nullptr) {
+      std::cerr << "mcsim replay: manifest result has no \"" << key << "\"\n";
+      return 1;
+    }
+    const obs::JsonValue* have = got.find(key);
+    if (have == nullptr) {
+      std::cerr << "mcsim replay: internal error: replay result has no \"" << key
+                << "\"\n";
+      return 1;
+    }
+    const exp::CompareOutcome outcome =
+        exp::compare_observations(*want, *have, bit_exact);
+    if (!outcome.match) {
+      std::cerr << "mcsim replay: diverges from " << manifest_path << " at result."
+                << key << (outcome.first.path.empty() ? "" : ".")
+                << outcome.first.describe() << '\n';
+      return 1;
+    }
+  }
+  std::cout << "replay matches " << manifest_path << ": "
+            << std::size(kReplayInvariantKeys)
+            << " wait/response statistic groups bit-exact\n";
+  return 0;
+}
+
+int cmd_replay(int argc, const char* const* argv) {
+  CliParser parser("mcsim replay: drive the schedulers from a recorded SWF trace");
+  add_scenario_options(parser);
+  parser.add_option("scale", "1.0",
+                    "multiply every submit time (<1 compresses the trace and "
+                    "raises the offered load)");
+  parser.add_option("verify-against", "",
+                    "manifest of the run that exported this trace: compare "
+                    "wait/response statistics bit-exactly, non-zero exit on drift");
+  add_point_output_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  if (parser.positional().empty()) {
+    std::cerr << "usage: mcsim replay <trace.swf> [options]\n";
+    return 1;
+  }
+
+  exp::ScenarioSpec spec = spec_from(parser);
+  spec.mode = exp::RunMode::kPoint;
+  spec.trace_path = parser.positional().front();
+  spec.trace_scale = parser.get_double("scale");
+  int code = 0;
+  if (emit_spec_requested(parser, spec, &code)) return code;
+  SimulationResult result;
+  code = execute_point(spec, parser, join_command_line(argc, argv), &result);
+  if (code != 0) return code;
+  const std::string against = parser.get("verify-against");
+  if (!against.empty()) return verify_replay_against(result, against);
+  return 0;
 }
 
 int cmd_sweep(int argc, const char* const* argv) {
@@ -362,6 +466,9 @@ void add_run_options(CliParser& parser) {
   parser.add_option("gnuplot", "", "sweep mode: write .dat/.gp into this directory");
   parser.add_option("seed", "", "override the scenario's master seed");
   parser.add_option("jobs", "", "override the scenario's worker-thread count");
+  parser.add_option("trace-in", "",
+                    "replay this SWF trace instead of the scenario's workload");
+  parser.add_option("scale", "", "trace replay: override the arrival-time scale");
 }
 
 void apply_run_overrides(const CliParser& parser, exp::ScenarioSpec* spec) {
@@ -369,6 +476,8 @@ void apply_run_overrides(const CliParser& parser, exp::ScenarioSpec* spec) {
   if (!parser.get("jobs").empty()) {
     spec->parallelism = static_cast<unsigned>(parser.get_uint("jobs"));
   }
+  if (!parser.get("trace-in").empty()) spec->trace_path = parser.get("trace-in");
+  if (!parser.get("scale").empty()) spec->trace_scale = parser.get_double("scale");
 }
 
 int cmd_run(int argc, const char* const* argv) {
@@ -519,6 +628,7 @@ void print_usage() {
          "  rerun         replay a run bit-exactly from its run manifest\n"
          "  verify        check every scenario against its golden record\n"
          "  point         one simulation at a target utilization\n"
+         "  replay        drive the schedulers from a recorded SWF trace\n"
          "  sweep         response-vs-utilization curve\n"
          "  saturation    maximal utilization (constant backlog)\n"
          "  replications  independent-replication confidence interval\n"
@@ -542,6 +652,7 @@ int main(int argc, char** argv) {
     if (command == "rerun") return cmd_rerun(sub_argc, sub_argv);
     if (command == "verify") return cmd_verify(sub_argc, sub_argv);
     if (command == "point") return cmd_point(sub_argc, sub_argv);
+    if (command == "replay") return cmd_replay(sub_argc, sub_argv);
     if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
     if (command == "saturation") return cmd_saturation(sub_argc, sub_argv);
     if (command == "replications") return cmd_replications(sub_argc, sub_argv);
