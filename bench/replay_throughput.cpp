@@ -1,0 +1,117 @@
+// Macro-benchmark for the engine hot loop: replay a 120k-job synthetic SWF
+// (the same log tools/make_bench_trace writes, synthesised here in memory)
+// through the full engine and report end-to-end events/sec and jobs/sec.
+//
+// This is the benchmark behind BENCH_hot_loop.json and the thresholded CI
+// regression gate (tools/bench_compare.py + bench/baseline.json, see
+// docs/PERFORMANCE.md). Two design points matter for gating:
+//
+//   * ReplayGS / ReplayLS exercise the per-event path end to end — job
+//     construction, queue hops, placement, calendar traffic — on a trace
+//     long enough (100k replayed jobs) that per-event costs dominate setup.
+//   * CalendarCalibration is a machine-speed yardstick: the gate compares
+//     each benchmark's time *relative to the calibration time from the same
+//     run*, so a uniformly slower machine (or a noisy CI runner) does not
+//     produce false regressions; only the engine getting slower relative to
+//     a fixed workload does.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "sim/calendar.hpp"
+#include "trace/synthetic_log.hpp"
+#include "workload/trace_workload.hpp"
+
+namespace mcsim {
+namespace {
+
+// Bench-pinned trace parameters; keep in sync with tools/make_bench_trace.
+constexpr std::uint64_t kTraceJobs = 120000;
+constexpr double kTraceDays = 360.0;
+constexpr std::uint64_t kReplayJobs = 100000;
+// Offered gross utilization the submit axis is scaled to. Comfortably below
+// every policy's saturation point so the replay is a steady-state run, not
+// a backlog-growth measurement.
+constexpr double kUtilization = 0.5;
+
+/// The shared in-memory bench trace, synthesised once per process.
+const std::shared_ptr<const TraceWorkloadConfig>& bench_trace() {
+  static const std::shared_ptr<const TraceWorkloadConfig> config = [] {
+    SyntheticLogConfig log;
+    log.num_jobs = kTraceJobs;
+    log.duration_seconds = kTraceDays * 86400.0;
+    const SwfTrace trace = generate_synthetic_das1_log(log);
+    auto out = std::make_shared<TraceWorkloadConfig>();
+    out->records = usable_trace_records(trace.records);
+    out->component_limit = 16;
+    out->num_clusters = 4;
+    out->split_jobs = true;
+    out->arrival_scale =
+        trace_scale_for_utilization(out->records, 128, kUtilization);
+    out->source_path = "<in-memory bench trace>";
+    return std::shared_ptr<const TraceWorkloadConfig>(std::move(out));
+  }();
+  return config;
+}
+
+SimulationConfig replay_config(PolicyKind policy) {
+  SimulationConfig config;
+  config.policy = policy;
+  config.cluster_sizes = {32, 32, 32, 32};
+  config.trace_workload = bench_trace();
+  config.total_jobs = kReplayJobs;
+  return config;
+}
+
+void BM_ReplayThroughput(benchmark::State& state, PolicyKind policy) {
+  const SimulationConfig config = replay_config(policy);
+  std::uint64_t events = 0;
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    SimulationResult result = run_simulation(config);
+    benchmark::DoNotOptimize(result);
+    events += result.events_executed;
+    jobs += result.completed_jobs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events/sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["jobs/sec"] =
+      benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK_CAPTURE(BM_ReplayThroughput, GS, PolicyKind::kGS)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ReplayThroughput, LS, PolicyKind::kLS)
+    ->Unit(benchmark::kMillisecond);
+
+// Machine-speed yardstick for the regression gate: a fixed calendar
+// hold-model loop (push one, pop one, at a steady occupancy) whose cost is
+// dominated by the same cache/branch behaviour as the simulator's event
+// loop but is independent of the engine code being gated.
+void BM_CalendarCalibration(benchmark::State& state) {
+  constexpr std::size_t kOccupancy = 1024;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Calendar calendar;
+    double time = 0.0;
+    for (std::size_t i = 0; i < kOccupancy; ++i) calendar.push(time + 1.0);
+    state.ResumeTiming();
+    for (int i = 0; i < 100000; ++i) {
+      const auto entry = calendar.pop();
+      time = entry.time;
+      calendar.push(time + 1.0 + 0.001 * static_cast<double>(i % 97));
+      benchmark::DoNotOptimize(entry);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+
+BENCHMARK(BM_CalendarCalibration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mcsim
+
+BENCHMARK_MAIN();

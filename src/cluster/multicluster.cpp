@@ -58,15 +58,22 @@ std::vector<std::uint32_t> Multicluster::idle_counts() const {
   return idle;
 }
 
+void Multicluster::idle_counts_into(std::vector<std::uint32_t>& out) const {
+  out.clear();
+  out.reserve(clusters_.size());
+  for (const auto& c : clusters_) out.push_back(c.idle());
+}
+
 void Multicluster::allocate(const Allocation& allocation) {
   // Validate first so a failed allocation leaves the system unchanged.
-  std::vector<std::uint32_t> extra(clusters_.size(), 0);
+  validate_scratch_.assign(clusters_.size(), 0);
   for (const auto& placement : allocation) {
     MCSIM_REQUIRE(placement.cluster < clusters_.size(), "placement names an unknown cluster");
-    extra[placement.cluster] += placement.processors;
+    validate_scratch_[placement.cluster] += placement.processors;
   }
   for (std::size_t i = 0; i < clusters_.size(); ++i) {
-    MCSIM_REQUIRE(extra[i] <= clusters_[i].idle(), "allocation exceeds idle processors");
+    MCSIM_REQUIRE(validate_scratch_[i] <= clusters_[i].idle(),
+                  "allocation exceeds idle processors");
   }
   for (const auto& placement : allocation) {
     clusters_[placement.cluster].allocate(placement.processors);

@@ -49,6 +49,12 @@ class Multicluster {
   /// Idle counts per cluster (a snapshot the placement policies work on).
   [[nodiscard]] std::vector<std::uint32_t> idle_counts() const;
 
+  /// Allocation-free variant for the placement hot path: refills `out`
+  /// in place, reusing its capacity. Every placement attempt snapshots the
+  /// idle counts, so the schedulers pass a per-scheduler scratch vector
+  /// here instead of taking a fresh heap vector per attempt.
+  void idle_counts_into(std::vector<std::uint32_t>& out) const;
+
   /// Apply an allocation (allocates on each named cluster).
   void allocate(const Allocation& allocation);
 
@@ -58,6 +64,9 @@ class Multicluster {
  private:
   std::vector<Cluster> clusters_;
   std::uint32_t total_ = 0;
+  /// Reused by allocate()'s validation pass (one job start per loop
+  /// iteration on the hot path; the scratch keeps it allocation-free).
+  std::vector<std::uint32_t> validate_scratch_;
 };
 
 }  // namespace mcsim

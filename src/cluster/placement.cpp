@@ -38,38 +38,50 @@ bool is_non_increasing(const std::vector<std::uint32_t>& v) {
   return std::is_sorted(v.rbegin(), v.rend());
 }
 
-/// Cluster ids ordered by (idle desc, id asc).
-std::vector<ClusterId> clusters_by_idle_desc(const std::vector<std::uint32_t>& idle) {
-  std::vector<ClusterId> order(idle.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&idle](ClusterId a, ClusterId b) {
-    return idle[a] > idle[b];
-  });
-  return order;
+/// Fill `order` with cluster ids by (idle desc, id asc). Stable insertion
+/// sort into the scratch vector: no allocation once the scratch holds its
+/// capacity (std::stable_sort would take a temporary buffer per call), and
+/// C is small — the paper's systems have 4-8 clusters.
+void clusters_by_idle_desc(const std::vector<std::uint32_t>& idle,
+                           std::vector<ClusterId>& order) {
+  order.clear();
+  order.reserve(idle.size());
+  for (ClusterId c = 0; c < idle.size(); ++c) {
+    auto it = order.begin();
+    while (it != order.end() && idle[*it] >= idle[c]) ++it;
+    order.insert(it, c);
+  }
 }
 
 std::optional<Allocation> place_worst_fit(const std::vector<std::uint32_t>& components,
-                                          const std::vector<std::uint32_t>& idle) {
-  const auto order = clusters_by_idle_desc(idle);
+                                          const std::vector<std::uint32_t>& idle,
+                                          PlacementScratch& scratch) {
+  clusters_by_idle_desc(idle, scratch.order);
+  // WF pairing doubles as the complete fit test: decide before building the
+  // allocation, so a reject (the common case for a blocked head job) costs
+  // no allocation.
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (components[i] > idle[scratch.order[i]]) return std::nullopt;
+  }
   Allocation allocation;
   allocation.reserve(components.size());
   for (std::size_t i = 0; i < components.size(); ++i) {
-    if (components[i] > idle[order[i]]) return std::nullopt;
-    allocation.push_back(ComponentPlacement{order[i], components[i]});
+    allocation.push_back(ComponentPlacement{scratch.order[i], components[i]});
   }
   return allocation;
 }
 
 std::optional<Allocation> place_first_fit(const std::vector<std::uint32_t>& components,
-                                          const std::vector<std::uint32_t>& idle) {
-  std::vector<bool> used(idle.size(), false);
+                                          const std::vector<std::uint32_t>& idle,
+                                          PlacementScratch& scratch) {
+  scratch.used.assign(idle.size(), 0);
   Allocation allocation;
   allocation.reserve(components.size());
   for (std::uint32_t component : components) {
     bool placed = false;
     for (ClusterId c = 0; c < idle.size(); ++c) {
-      if (!used[c] && component <= idle[c]) {
-        used[c] = true;
+      if (scratch.used[c] == 0 && component <= idle[c]) {
+        scratch.used[c] = 1;
         allocation.push_back(ComponentPlacement{c, component});
         placed = true;
         break;
@@ -81,22 +93,23 @@ std::optional<Allocation> place_first_fit(const std::vector<std::uint32_t>& comp
 }
 
 std::optional<Allocation> place_best_fit(const std::vector<std::uint32_t>& components,
-                                         const std::vector<std::uint32_t>& idle) {
-  std::vector<bool> used(idle.size(), false);
+                                         const std::vector<std::uint32_t>& idle,
+                                         PlacementScratch& scratch) {
+  scratch.used.assign(idle.size(), 0);
   Allocation allocation;
   allocation.reserve(components.size());
   for (std::uint32_t component : components) {
     ClusterId best = static_cast<ClusterId>(idle.size());
     std::uint32_t best_idle = 0;
     for (ClusterId c = 0; c < idle.size(); ++c) {
-      if (used[c] || component > idle[c]) continue;
+      if (scratch.used[c] != 0 || component > idle[c]) continue;
       if (best == idle.size() || idle[c] < best_idle) {
         best = c;
         best_idle = idle[c];
       }
     }
     if (best == idle.size()) return std::nullopt;
-    used[best] = true;
+    scratch.used[best] = 1;
     allocation.push_back(ComponentPlacement{best, component});
   }
   return allocation;
@@ -107,14 +120,21 @@ std::optional<Allocation> place_best_fit(const std::vector<std::uint32_t>& compo
 std::optional<Allocation> place_components(const std::vector<std::uint32_t>& components,
                                            const std::vector<std::uint32_t>& idle_counts,
                                            PlacementRule rule) {
+  PlacementScratch scratch;
+  return place_components(components, idle_counts, rule, scratch);
+}
+
+std::optional<Allocation> place_components(const std::vector<std::uint32_t>& components,
+                                           const std::vector<std::uint32_t>& idle_counts,
+                                           PlacementRule rule, PlacementScratch& scratch) {
   MCSIM_REQUIRE(!components.empty(), "request has no components");
   MCSIM_REQUIRE(components.size() <= idle_counts.size(),
                 "more components than clusters");
   MCSIM_REQUIRE(is_non_increasing(components), "components must be non-increasing");
   switch (rule) {
-    case PlacementRule::kWorstFit: return place_worst_fit(components, idle_counts);
-    case PlacementRule::kFirstFit: return place_first_fit(components, idle_counts);
-    case PlacementRule::kBestFit: return place_best_fit(components, idle_counts);
+    case PlacementRule::kWorstFit: return place_worst_fit(components, idle_counts, scratch);
+    case PlacementRule::kFirstFit: return place_first_fit(components, idle_counts, scratch);
+    case PlacementRule::kBestFit: return place_best_fit(components, idle_counts, scratch);
   }
   return std::nullopt;
 }
@@ -146,9 +166,17 @@ std::optional<Allocation> place_ordered(const std::vector<std::uint32_t>& compon
 
 std::optional<Allocation> place_flexible(std::uint32_t total,
                                          const std::vector<std::uint32_t>& idle_counts) {
+  PlacementScratch scratch;
+  return place_flexible(total, idle_counts, scratch);
+}
+
+std::optional<Allocation> place_flexible(std::uint32_t total,
+                                         const std::vector<std::uint32_t>& idle_counts,
+                                         PlacementScratch& scratch) {
   MCSIM_REQUIRE(total > 0, "request must ask for processors");
   // Whole-job fit on one cluster first (Worst Fit keeps big holes open).
-  const auto order = clusters_by_idle_desc(idle_counts);
+  clusters_by_idle_desc(idle_counts, scratch.order);
+  const std::vector<ClusterId>& order = scratch.order;
   if (idle_counts[order.front()] >= total) {
     return Allocation{ComponentPlacement{order.front(), total}};
   }

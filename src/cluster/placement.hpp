@@ -27,6 +27,16 @@ const char* placement_rule_name(PlacementRule rule);
 /// case-insensitive). Throws std::invalid_argument on anything else.
 PlacementRule parse_placement_rule(const std::string& name);
 
+/// Reusable working memory for the placement functions. The schedulers
+/// keep one per instance and pass it to every attempt: after the first few
+/// calls the buffers hold their high-water capacity and a placement
+/// attempt — in particular a *rejected* one, the common case for a blocked
+/// head-of-queue — touches no allocator at all.
+struct PlacementScratch {
+  std::vector<ClusterId> order;      // clusters by decreasing idle
+  std::vector<std::uint8_t> used;    // FF/BF distinct-cluster marks
+};
+
 /// Try to place `components` (must be non-increasing) on distinct clusters
 /// given per-cluster idle counts. Returns std::nullopt if the request does
 /// not fit. Ties on idle counts break toward the lower cluster id, keeping
@@ -34,6 +44,13 @@ PlacementRule parse_placement_rule(const std::string& name);
 std::optional<Allocation> place_components(const std::vector<std::uint32_t>& components,
                                            const std::vector<std::uint32_t>& idle_counts,
                                            PlacementRule rule = PlacementRule::kWorstFit);
+
+/// Hot-path variant: identical decisions, but sorts and marks inside
+/// `scratch` instead of fresh vectors, and builds the Allocation only once
+/// the request is known to fit.
+std::optional<Allocation> place_components(const std::vector<std::uint32_t>& components,
+                                           const std::vector<std::uint32_t>& idle_counts,
+                                           PlacementRule rule, PlacementScratch& scratch);
 
 /// Place a single-component job on one specific cluster (LS local jobs).
 std::optional<Allocation> place_on_cluster(std::uint32_t processors, ClusterId cluster,
@@ -51,6 +68,11 @@ std::optional<Allocation> place_ordered(const std::vector<std::uint32_t>& compon
 /// Fits iff total_idle >= total.
 std::optional<Allocation> place_flexible(std::uint32_t total,
                                          const std::vector<std::uint32_t>& idle_counts);
+
+/// Hot-path variant of place_flexible (see PlacementScratch).
+std::optional<Allocation> place_flexible(std::uint32_t total,
+                                         const std::vector<std::uint32_t>& idle_counts,
+                                         PlacementScratch& scratch);
 
 /// Fit test only (no allocation construction) — cheaper on the hot path.
 bool components_fit(const std::vector<std::uint32_t>& components,

@@ -5,6 +5,7 @@
 
 #include "util/assert.hpp"
 #include "util/logging.hpp"
+#include "util/rusage.hpp"
 
 namespace mcsim {
 
@@ -168,6 +169,12 @@ void MulticlusterSimulation::finish_metrics() {
       result_.wall_seconds > 0.0
           ? static_cast<double>(result_.events_executed) / result_.wall_seconds
           : 0.0;
+  metrics_->gauge("run.event_loop_seconds") = event_loop_seconds_;
+  metrics_->gauge("run.events_executed_per_sec") =
+      event_loop_seconds_ > 0.0
+          ? static_cast<double>(result_.events_executed) / event_loop_seconds_
+          : 0.0;
+  metrics_->gauge("run.peak_rss_bytes") = static_cast<double>(peak_rss_bytes());
   metrics_->gauge("run.sim_end_time") = sim_.now();
   metrics_->gauge("run.unstable") = result_.unstable ? 1.0 : 0.0;
   // Snapshot the engine's own time-weighted processes (measurement window,
@@ -184,9 +191,20 @@ SimulationResult MulticlusterSimulation::run() {
   MCSIM_REQUIRE(!ran_, "MulticlusterSimulation::run may be called once");
   ran_ = true;
   const auto wall_start = std::chrono::steady_clock::now();
+  // Auto-tune the event core from the run's known horizon: every job is at
+  // most one arrival plus one departure event, and the pending set is
+  // bounded by the running jobs (<= total processors) plus the one
+  // in-flight arrival. Sized here, the calendar heap, the handler slots and
+  // the resolved bitmap never rehash or reallocate mid-run.
+  sim_.reserve_events(config_.total_jobs * 2 + 16,
+                      static_cast<std::size_t>(system_.total_processors()) + 8);
   if (warmup_completions_ == 0) begin_measurement();
   schedule_next_arrival();
+  const auto loop_start = std::chrono::steady_clock::now();
   sim_.run();
+  event_loop_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - loop_start)
+          .count();
   result_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
@@ -223,18 +241,22 @@ void MulticlusterSimulation::schedule_next_arrival() {
   JobSpec spec;
   if (!source_->next(spec)) return;  // finite source (trace) ran dry
   ++arrivals_generated_;
-  sim_.schedule_at(spec.arrival_time,
-                   [this, spec = std::move(spec)]() mutable { on_arrival(std::move(spec)); });
+  // Move the spec into a pooled Job now so the arrival event captures one
+  // plain pointer: the handler stays inside EventFn's inline buffer and the
+  // spec's vectors are never copied again.
+  const double when = spec.arrival_time;
+  JobPtr job = pool_.acquire(std::move(spec));
+  sim_.schedule_at(when, [this, job]() { on_arrival(job); });
 }
 
-void MulticlusterSimulation::on_arrival(JobSpec spec) {
+void MulticlusterSimulation::on_arrival(JobPtr job) {
   last_arrival_time_ = sim_.now();
   if (measuring_) {
     arrived_gross_work_ +=
-        static_cast<double>(spec.total_size) * spec.gross_service_time;
-    arrived_net_work_ += static_cast<double>(spec.total_size) * spec.service_time;
+        static_cast<double>(job->spec.total_size) * job->spec.gross_service_time;
+    arrived_net_work_ +=
+        static_cast<double>(job->spec.total_size) * job->spec.service_time;
   }
-  auto job = std::make_shared<Job>(std::move(spec));
   if (ctr_arrivals_ != nullptr) ++*ctr_arrivals_;
   if (sink_ != nullptr) {
     emit(obs::EventKind::kArrival, *job, 0.0,
@@ -286,7 +308,7 @@ void MulticlusterSimulation::record_placement(Job& job, bool success,
   }
 }
 
-void MulticlusterSimulation::start_job(const JobPtr& job, Allocation allocation) {
+void MulticlusterSimulation::start_job(JobPtr job, Allocation allocation) {
   MCSIM_REQUIRE(!job->started(), "job started twice");
   job->allocation = std::move(allocation);
   job->start_time = sim_.now();
@@ -308,7 +330,7 @@ void MulticlusterSimulation::start_job(const JobPtr& job, Allocation allocation)
   sim_.schedule_in(runtime, [this, job]() { on_departure(job); });
 }
 
-void MulticlusterSimulation::on_departure(const JobPtr& job) {
+void MulticlusterSimulation::on_departure(JobPtr job) {
   system_.release(job->allocation);
   utilization_.on_job_finish(sim_.now(), job->spec.total_size);
   for (const auto& placement : job->allocation) {
@@ -350,6 +372,11 @@ void MulticlusterSimulation::on_departure(const JobPtr& job) {
 
   scheduler_->on_departure();
   queue_length_.update(sim_.now(), static_cast<double>(scheduler_->queued_jobs()));
+  // The job is out of every queue, off the machine, and fully accounted:
+  // recycle it. Departure order is deterministic, so the pool's free list —
+  // and with it the addresses handed to future arrivals — replays
+  // identically run over run.
+  pool_.release(job);
 }
 
 void MulticlusterSimulation::begin_measurement() {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/multicluster.hpp"
+#include "core/job_pool.hpp"
 #include "core/scheduler_factory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
@@ -148,7 +149,7 @@ class MulticlusterSimulation final : public SchedulerContext {
   // SchedulerContext:
   [[nodiscard]] const Multicluster& system() const override { return system_; }
   [[nodiscard]] double now() const override { return sim_.now(); }
-  void start_job(const JobPtr& job, Allocation allocation) override;
+  void start_job(JobPtr job, Allocation allocation) override;
   void record_placement(Job& job, bool success, std::int16_t cluster) override;
 
   [[nodiscard]] const SimulationConfig& config() const { return config_; }
@@ -157,8 +158,8 @@ class MulticlusterSimulation final : public SchedulerContext {
 
  private:
   void schedule_next_arrival();
-  void on_arrival(JobSpec spec);
-  void on_departure(const JobPtr& job);
+  void on_arrival(JobPtr job);
+  void on_departure(JobPtr job);
   void begin_measurement();
   void emit(obs::EventKind kind, const Job& job, double value, std::int16_t cluster);
   void finish_metrics();
@@ -166,6 +167,12 @@ class MulticlusterSimulation final : public SchedulerContext {
   SimulationConfig config_;
   Simulator sim_;
   Multicluster system_;
+  /// Per-engine slab pool backing every Job this run touches. Jobs live
+  /// from schedule-time of their arrival event to the end of on_departure,
+  /// where they return to the pool for reuse by later arrivals — the hot
+  /// loop never allocates per job after the pool warms up. Engine-local so
+  /// parallel sweep runners stay bit-identical and share nothing.
+  JobPool pool_;
   std::unique_ptr<JobSource> source_;
   std::unique_ptr<Scheduler> scheduler_;
   UtilizationTracker utilization_;
@@ -189,6 +196,10 @@ class MulticlusterSimulation final : public SchedulerContext {
   std::uint64_t* ctr_rejects_local_ = nullptr;
   TimeWeightedStat* calendar_series_ = nullptr;
 
+  /// Wall-clock seconds spent inside the event loop proper (sim_.run()),
+  /// excluding setup and result assembly; exported as the
+  /// run.event_loop_seconds gauge (excluded from golden digests).
+  double event_loop_seconds_ = 0.0;
   std::uint64_t arrivals_generated_ = 0;
   std::uint64_t completions_ = 0;
   std::uint64_t warmup_completions_ = 0;

@@ -1,9 +1,15 @@
 // Runtime job state: the immutable JobSpec plus what the scheduler decides
 // (allocation, start time) and a tag recording which queue class served it
 // (for the per-queue response-time breakdown of Fig. 4).
+//
+// Jobs are owned by the engine's JobPool (core/job_pool.hpp) for their
+// whole lifecycle; everything else — queues, policies, the scheduler
+// context — handles them through the stable raw pointer JobPtr. The
+// pointer is the handle: it is never reference-counted (a job cannot
+// outlive its engine) and never compared for ordering (pool recycling
+// makes addresses non-deterministic across runs; all orderings use spec
+// fields or queue position).
 #pragma once
-
-#include <memory>
 
 #include "cluster/multicluster.hpp"
 #include "workload/workload.hpp"
@@ -13,7 +19,11 @@ namespace mcsim {
 enum class QueueClass : std::uint8_t { kLocal, kGlobal };
 
 struct Job {
+  Job() = default;
   explicit Job(JobSpec s) : spec(std::move(s)) {}
+  // Pool-owned: handles are Job*; copying one would silently fork state.
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
 
   JobSpec spec;
   Allocation allocation;     // filled when the job starts
@@ -24,8 +34,22 @@ struct Job {
   bool considered = false;
 
   [[nodiscard]] bool started() const { return start_time >= 0.0; }
+
+  /// Re-initialise a recycled pool slot for a new arrival. Keeps the
+  /// allocation vector's capacity, so a recycled job places without
+  /// touching the allocator.
+  void reset(JobSpec s) {
+    spec = std::move(s);
+    allocation.clear();
+    start_time = -1.0;
+    queue_class = QueueClass::kGlobal;
+    considered = false;
+  }
 };
 
-using JobPtr = std::shared_ptr<Job>;
+/// Stable handle to a pool-owned job. Trivially copyable: queue hops, the
+/// JobOrder comparator path and pop()/remove_at() moves never touch an
+/// allocator or a refcount.
+using JobPtr = Job*;
 
 }  // namespace mcsim

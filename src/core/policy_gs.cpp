@@ -17,7 +17,7 @@ PolicyGs::PolicyGs(SchedulerContext& context, PlacementRule placement,
   queue_.set_order(make_job_order(discipline));
 }
 
-void PolicyGs::submit(const JobPtr& job) {
+void PolicyGs::submit(JobPtr job) {
   job->queue_class = QueueClass::kGlobal;
   queue_.push(job);
   try_schedule();
@@ -44,7 +44,7 @@ void PolicyGs::start_at(std::size_t index, Allocation allocation) {
 void PolicyGs::try_schedule() {
   // FCFS part, common to all modes: start head jobs while they fit.
   while (!queue_.empty()) {
-    auto allocation = try_place(queue_.front());
+    auto allocation = try_place(*queue_.front());
     if (!allocation) break;
     start_at(0, std::move(*allocation));
   }
@@ -60,7 +60,7 @@ void PolicyGs::backfill_aggressive() {
   // Scan past the (blocked) head and start anything that fits, in order.
   std::size_t index = 1;
   while (index < queue_.size()) {
-    auto allocation = try_place(queue_.at(index));
+    auto allocation = try_place(*queue_.at(index));
     if (allocation) {
       start_at(index, std::move(*allocation));
       // Do not advance: the next job shifted into this slot.
@@ -100,19 +100,19 @@ void PolicyGs::backfill_easy() {
   std::uint32_t spare = extra;
   std::size_t index = 1;
   while (index < queue_.size()) {
-    const JobPtr& job = queue_.at(index);
-    const bool ends_in_time = now + job->spec.gross_service_time <= t_res;
-    const bool within_spare = job->spec.total_size <= spare;
+    const Job& job = *queue_.at(index);
+    const bool ends_in_time = now + job.spec.gross_service_time <= t_res;
+    const bool within_spare = job.spec.total_size <= spare;
     if (!ends_in_time && !within_spare) {
       ++index;
       continue;
     }
-    auto allocation = try_place(job);
+    auto allocation = try_place(*queue_.at(index));
     if (!allocation) {
       ++index;
       continue;
     }
-    if (!ends_in_time) spare -= job->spec.total_size;
+    if (!ends_in_time) spare -= job.spec.total_size;
     start_at(index, std::move(*allocation));
   }
 }

@@ -33,7 +33,7 @@ class PolicyGs final : public Scheduler {
            BackfillMode backfill = BackfillMode::kNone,
            QueueDiscipline discipline = QueueDiscipline::kFcfs);
 
-  void submit(const JobPtr& job) override;
+  void submit(JobPtr job) override;
   void on_departure() override;
   [[nodiscard]] std::size_t queued_jobs() const override { return queue_.size(); }
   [[nodiscard]] std::size_t max_queue_length() const override { return queue_.size(); }

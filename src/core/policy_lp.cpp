@@ -11,7 +11,7 @@ PolicyLp::PolicyLp(SchedulerContext& context, PlacementRule placement)
   locals_.resize(context_.system().num_clusters());
 }
 
-void PolicyLp::submit(const JobPtr& job) {
+void PolicyLp::submit(JobPtr job) {
   if (job->spec.needs_coallocation()) {
     job->queue_class = QueueClass::kGlobal;
     global_.push(job);
@@ -49,7 +49,7 @@ void PolicyLp::try_schedule() {
     // at least one local queue empty and no unfitting head since the last
     // departure.
     if (global_.enabled() && !global_.empty() && some_local_empty()) {
-      auto allocation = try_place(global_.front());
+      auto allocation = try_place(*global_.front());
       if (allocation) {
         context_.start_job(global_.pop(), std::move(*allocation));
         any_started = true;
@@ -62,7 +62,7 @@ void PolicyLp::try_schedule() {
       JobQueue& queue = locals_[qid];
       if (!queue.enabled() || queue.empty()) continue;
       // Local queues hold single-component jobs restricted to their cluster.
-      auto allocation = try_place_local(queue.front(), qid);
+      auto allocation = try_place_local(*queue.front(), qid);
       if (allocation) {
         context_.start_job(queue.pop(), std::move(*allocation));
         any_started = true;

@@ -22,7 +22,7 @@ class PolicyLp final : public Scheduler {
  public:
   PolicyLp(SchedulerContext& context, PlacementRule placement);
 
-  void submit(const JobPtr& job) override;
+  void submit(JobPtr job) override;
   void on_departure() override;
   [[nodiscard]] std::size_t queued_jobs() const override;
   [[nodiscard]] std::size_t max_queue_length() const override;

@@ -14,7 +14,7 @@ PolicyLs::PolicyLs(SchedulerContext& context, PlacementRule placement)
   for (std::uint32_t i = 0; i < n; ++i) visit_order_.push_back(i);
 }
 
-void PolicyLs::submit(const JobPtr& job) {
+void PolicyLs::submit(JobPtr job) {
   const std::uint32_t qid = job->spec.origin_queue;
   MCSIM_REQUIRE(qid < queues_.size(), "origin queue out of range");
   job->queue_class = QueueClass::kLocal;
@@ -42,10 +42,10 @@ void PolicyLs::try_schedule() {
     for (std::uint32_t qid : round) {
       JobQueue& queue = queues_[qid];
       if (!queue.enabled() || queue.empty()) continue;
-      const JobPtr& head = queue.front();
+      Job& head = *queue.front();
       // Single-cluster jobs are restricted to the local cluster; wide-area
       // jobs are co-allocated over the whole system.
-      auto allocation = head->spec.needs_coallocation()
+      auto allocation = head.spec.needs_coallocation()
                             ? try_place(head)
                             : try_place_local(head, qid);
       if (allocation) {

@@ -25,7 +25,7 @@ class PolicyLs final : public Scheduler {
  public:
   PolicyLs(SchedulerContext& context, PlacementRule placement);
 
-  void submit(const JobPtr& job) override;
+  void submit(JobPtr job) override;
   void on_departure() override;
   [[nodiscard]] std::size_t queued_jobs() const override;
   [[nodiscard]] std::size_t max_queue_length() const override;

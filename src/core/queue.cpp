@@ -6,42 +6,42 @@ namespace mcsim {
 
 void JobQueue::set_order(JobOrder order) {
   MCSIM_REQUIRE(jobs_.empty(), "service order must be set before jobs arrive");
-  order_ = std::move(order);
+  order_ = order;
 }
 
 void JobQueue::push(JobPtr job) {
   MCSIM_REQUIRE(job != nullptr, "cannot enqueue a null job");
-  if (!order_) {
-    jobs_.push_back(std::move(job));
+  if (order_ == nullptr) {
+    jobs_.push_back(job);
   } else {
     // Stable priority insert: after all jobs that are not strictly worse.
     auto it = jobs_.begin();
-    while (it != jobs_.end() && !order_(job, *it)) ++it;
-    jobs_.insert(it, std::move(job));
+    while (it != jobs_.end() && !order_(*job, **it)) ++it;
+    jobs_.insert(it, job);
   }
   ++total_enqueued_;
 }
 
-const JobPtr& JobQueue::front() const {
+JobPtr JobQueue::front() const {
   MCSIM_REQUIRE(!jobs_.empty(), "queue is empty");
   return jobs_.front();
 }
 
 JobPtr JobQueue::pop() {
   MCSIM_REQUIRE(!jobs_.empty(), "queue is empty");
-  JobPtr job = std::move(jobs_.front());
+  JobPtr job = jobs_.front();
   jobs_.pop_front();
   return job;
 }
 
-const JobPtr& JobQueue::at(std::size_t index) const {
+JobPtr JobQueue::at(std::size_t index) const {
   MCSIM_REQUIRE(index < jobs_.size(), "queue index out of range");
   return jobs_[index];
 }
 
 JobPtr JobQueue::remove_at(std::size_t index) {
   MCSIM_REQUIRE(index < jobs_.size(), "queue index out of range");
-  JobPtr job = std::move(jobs_[index]);
+  JobPtr job = jobs_[index];
   jobs_.erase(jobs_.begin() + static_cast<long>(index));
   return job;
 }

@@ -1,19 +1,24 @@
 // FCFS job queue with the enable/disable state of the paper's scheduling
 // protocol (Sect. 2.5): a queue whose head job does not fit is disabled
 // until the next departure from the system.
+//
+// The queue stores trivially-copyable JobPtr handles (core/job.hpp):
+// push/pop/remove_at and the priority-insert comparator path move plain
+// pointers and never touch an allocator or a refcount
+// (tests/core_queue_test.cpp pins this with a global-allocation probe).
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "core/job.hpp"
 
 namespace mcsim {
 
 /// Queue ordering predicate: `a` before `b` means `a` is served first.
-/// Insertion is stable (FCFS among equals).
-using JobOrder = std::function<bool(const JobPtr& a, const JobPtr& b)>;
+/// Insertion is stable (FCFS among equals). A plain function pointer over
+/// the concrete Job — no type-erased callable on the insert path.
+using JobOrder = bool (*)(const Job& a, const Job& b);
 
 class JobQueue {
  public:
@@ -22,11 +27,11 @@ class JobQueue {
   void set_order(JobOrder order);
 
   void push(JobPtr job);
-  [[nodiscard]] const JobPtr& front() const;
+  [[nodiscard]] JobPtr front() const;
   JobPtr pop();
 
   /// Random access for the backfilling schedulers (index 0 is the head).
-  [[nodiscard]] const JobPtr& at(std::size_t index) const;
+  [[nodiscard]] JobPtr at(std::size_t index) const;
   /// Remove and return the job at `index` (backfill start out of order).
   JobPtr remove_at(std::size_t index);
 
@@ -42,7 +47,7 @@ class JobQueue {
 
  private:
   std::deque<JobPtr> jobs_;
-  JobOrder order_;  // null = FCFS
+  JobOrder order_ = nullptr;  // null = FCFS
   bool enabled_ = true;
   std::uint64_t total_enqueued_ = 0;
 };

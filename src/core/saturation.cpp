@@ -43,10 +43,10 @@ SaturationResult SaturationSimulation::run() {
 void SaturationSimulation::refill() {
   JobSpec spec = generator_.next_body();
   spec.arrival_time = sim_.now();
-  scheduler_->submit(std::make_shared<Job>(std::move(spec)));
+  scheduler_->submit(pool_.acquire(std::move(spec)));
 }
 
-void SaturationSimulation::start_job(const JobPtr& job, Allocation allocation) {
+void SaturationSimulation::start_job(JobPtr job, Allocation allocation) {
   MCSIM_REQUIRE(!job->started(), "job started twice");
   job->allocation = std::move(allocation);
   job->start_time = sim_.now();
@@ -59,9 +59,10 @@ void SaturationSimulation::start_job(const JobPtr& job, Allocation allocation) {
   sim_.schedule_in(job->spec.gross_service_time, [this, job]() { on_departure(job); });
 }
 
-void SaturationSimulation::on_departure(const JobPtr& job) {
+void SaturationSimulation::on_departure(JobPtr job) {
   system_.release(job->allocation);
   utilization_.on_job_finish(sim_.now(), job->spec.total_size);
+  pool_.release(job);
   ++completions_;
 
   if (!measuring_ && completions_ >= warmup_completions_) {

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/engine.hpp"
+#include "core/job_pool.hpp"
 
 namespace mcsim {
 
@@ -48,15 +49,16 @@ class SaturationSimulation final : public SchedulerContext {
 
   [[nodiscard]] const Multicluster& system() const override { return system_; }
   [[nodiscard]] double now() const override { return sim_.now(); }
-  void start_job(const JobPtr& job, Allocation allocation) override;
+  void start_job(JobPtr job, Allocation allocation) override;
 
  private:
   void refill();
-  void on_departure(const JobPtr& job);
+  void on_departure(JobPtr job);
 
   SaturationConfig config_;
   Simulator sim_;
   Multicluster system_;
+  JobPool pool_;
   WorkloadGenerator generator_;
   std::unique_ptr<Scheduler> scheduler_;
   UtilizationTracker utilization_;

@@ -58,50 +58,57 @@ JobOrder make_job_order(QueueDiscipline discipline) {
     case QueueDiscipline::kFcfs:
       return nullptr;
     case QueueDiscipline::kShortestJobFirst:
-      return [](const JobPtr& a, const JobPtr& b) {
-        return a->spec.gross_service_time < b->spec.gross_service_time;
+      return [](const Job& a, const Job& b) {
+        return a.spec.gross_service_time < b.spec.gross_service_time;
       };
     case QueueDiscipline::kLongestJobFirst:
-      return [](const JobPtr& a, const JobPtr& b) {
-        return a->spec.gross_service_time > b->spec.gross_service_time;
+      return [](const Job& a, const Job& b) {
+        return a.spec.gross_service_time > b.spec.gross_service_time;
       };
     case QueueDiscipline::kSmallestFirst:
-      return [](const JobPtr& a, const JobPtr& b) {
-        return a->spec.total_size < b->spec.total_size;
+      return [](const Job& a, const Job& b) {
+        return a.spec.total_size < b.spec.total_size;
       };
     case QueueDiscipline::kLargestFirst:
-      return [](const JobPtr& a, const JobPtr& b) {
-        return a->spec.total_size > b->spec.total_size;
+      return [](const Job& a, const Job& b) {
+        return a.spec.total_size > b.spec.total_size;
       };
   }
   return nullptr;
 }
 
-std::optional<Allocation> Scheduler::try_place(const JobPtr& job) const {
-  const auto idle = context_.system().idle_counts();
+std::optional<Allocation> Scheduler::try_place(Job& job) const {
+  context_.system().idle_counts_into(idle_scratch_);
   std::optional<Allocation> allocation;
-  switch (job->spec.request_type) {
+  switch (job.spec.request_type) {
     case RequestType::kOrdered:
-      allocation = place_ordered(job->spec.components, job->spec.ordered_clusters, idle);
+      allocation =
+          place_ordered(job.spec.components, job.spec.ordered_clusters, idle_scratch_);
       break;
     case RequestType::kFlexible:
-      allocation = place_flexible(job->spec.total_size, idle);
+      allocation = place_flexible(job.spec.total_size, idle_scratch_, place_scratch_);
       break;
     case RequestType::kUnordered:
     case RequestType::kTotal:
-      allocation = place_components(job->spec.components, idle, placement_);
+      allocation =
+          place_components(job.spec.components, idle_scratch_, placement_, place_scratch_);
       break;
   }
-  context_.record_placement(*job, allocation.has_value(), /*cluster=*/-1);
+  context_.record_placement(job, allocation.has_value(), /*cluster=*/-1);
   return allocation;
 }
 
-std::optional<Allocation> Scheduler::try_place_local(const JobPtr& job,
+std::optional<Allocation> Scheduler::try_place_local(Job& job,
                                                      ClusterId cluster) const {
-  MCSIM_ASSERT(job->spec.components.size() == 1);
-  auto allocation = place_on_cluster(job->spec.components.front(), cluster,
-                                     context_.system().idle_counts());
-  context_.record_placement(*job, allocation.has_value(),
+  MCSIM_ASSERT(job.spec.components.size() == 1);
+  // One cluster's idle count decides; no snapshot of the whole system and
+  // no allocation unless the job actually fits.
+  const std::uint32_t processors = job.spec.components.front();
+  std::optional<Allocation> allocation;
+  if (processors <= context_.system().cluster(cluster).idle()) {
+    allocation = Allocation{ComponentPlacement{cluster, processors}};
+  }
+  context_.record_placement(job, allocation.has_value(),
                             static_cast<std::int16_t>(cluster));
   return allocation;
 }

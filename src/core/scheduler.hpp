@@ -16,6 +16,8 @@
 #include "core/job.hpp"
 #include "core/queue.hpp"
 
+#include <optional>
+
 namespace mcsim {
 
 /// Backfilling mode for the single-queue policies (GS, SC) — an extension
@@ -47,7 +49,9 @@ const char* queue_discipline_name(QueueDiscipline discipline);
 /// otherwise.
 QueueDiscipline parse_queue_discipline(const std::string& name);
 
-/// The JobQueue ordering for a discipline (nullptr for FCFS).
+/// The JobQueue ordering for a discipline (nullptr for FCFS). A plain
+/// function pointer: comparator calls on the priority-insert path are a
+/// direct indirect call, never a std::function dispatch.
 JobOrder make_job_order(QueueDiscipline discipline);
 
 /// The slice of the engine a policy is allowed to see: global knowledge of
@@ -61,7 +65,7 @@ class SchedulerContext {
   [[nodiscard]] virtual double now() const = 0;
   /// Start `job` on `allocation` now; the engine allocates the processors
   /// and schedules the departure.
-  virtual void start_job(const JobPtr& job, Allocation allocation) = 0;
+  virtual void start_job(JobPtr job, Allocation allocation) = 0;
   /// Observability: every placement attempt reports its outcome here
   /// (called by Scheduler::try_place / try_place_local). `cluster` is the
   /// local cluster the attempt was restricted to, or -1 for a system-wide
@@ -80,7 +84,7 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// A job arrived (already tagged with its submission queue).
-  virtual void submit(const JobPtr& job) = 0;
+  virtual void submit(JobPtr job) = 0;
 
   /// A job departed: re-enable queues per the policy's protocol and try to
   /// start queued jobs.
@@ -100,14 +104,23 @@ class Scheduler {
  protected:
   /// WF (or the configured rule) placement of an unordered request over the
   /// whole system; single-component jobs are a 1-tuple.
-  [[nodiscard]] std::optional<Allocation> try_place(const JobPtr& job) const;
+  [[nodiscard]] std::optional<Allocation> try_place(Job& job) const;
 
   /// Placement of a single-component job restricted to its local cluster.
-  [[nodiscard]] std::optional<Allocation> try_place_local(const JobPtr& job,
+  [[nodiscard]] std::optional<Allocation> try_place_local(Job& job,
                                                           ClusterId cluster) const;
 
   SchedulerContext& context_;
   PlacementRule placement_;
+
+ private:
+  /// Per-scheduler working memory for try_place/try_place_local: the idle
+  /// snapshot and the placement sort/mark buffers. Mutable because a
+  /// placement *attempt* is logically const — it observes the system and
+  /// decides — while physically reusing these buffers keeps the attempt
+  /// (and in particular every reject) off the allocator.
+  mutable std::vector<std::uint32_t> idle_scratch_;
+  mutable PlacementScratch place_scratch_;
 };
 
 }  // namespace mcsim

@@ -6,10 +6,10 @@
 
 namespace mcsim {
 
-EventId Calendar::push(double time) {
+EventId Calendar::push(double time, std::uint32_t slot) {
   const EventId id = next_id_++;
   if ((id >> 6) >= resolved_.size()) resolved_.push_back(0);
-  heap_push(Entry{time, next_seq_++, id});
+  heap_push(Entry{time, id, slot});
   ++live_count_;
   return id;
 }
@@ -41,8 +41,35 @@ Calendar::Entry Calendar::pop() {
   return top;
 }
 
+void Calendar::pop_ties(std::vector<Entry>& out) {
+  out.clear();
+  skip_resolved();
+  MCSIM_REQUIRE(!heap_.empty(), "calendar is empty");
+  const double time = heap_.front().time;
+  do {
+    const Entry top = heap_.front();
+    heap_pop();
+    mark_resolved(top.id);
+    MCSIM_ASSERT(live_count_ > 0);
+    --live_count_;
+    out.push_back(top);
+    skip_resolved();
+  } while (!heap_.empty() && heap_.front().time == time);
+}
+
+void Calendar::drain_reclaimed_slots(std::vector<std::uint32_t>& out) {
+  out.insert(out.end(), reclaimed_.begin(), reclaimed_.end());
+  reclaimed_.clear();
+}
+
+void Calendar::reserve(std::size_t expected_ids, std::size_t expected_pending) {
+  resolved_.reserve((expected_ids >> 6) + 2);
+  heap_.reserve(expected_pending);
+}
+
 void Calendar::clear() {
   heap_.clear();
+  reclaimed_.clear();
   // Ids issued before the clear must stay dead: resolve them all. Bits for
   // ids not yet issued must stay clear or the next push is born resolved.
   std::fill(resolved_.begin(), resolved_.end(), ~std::uint64_t{0});
@@ -86,6 +113,7 @@ void Calendar::heap_pop() {
 void Calendar::skip_resolved() {
   if (stale_count_ == 0) return;  // nothing was cancelled: the front is live
   while (!heap_.empty() && resolved(heap_.front().id)) {
+    reclaimed_.push_back(heap_.front().slot);
     heap_pop();
     --stale_count_;
   }

@@ -1,22 +1,29 @@
 /// \file
-/// \brief Pending-event calendar: a binary min-heap ordered by
-/// (time, sequence).
+/// \brief Pending-event calendar: a binary min-heap ordered by (time, id).
 //
-// The sequence number makes simultaneous events fire in scheduling order,
-// which keeps runs deterministic. Cancellation is lazy and O(1): ids are
-// issued monotonically and a bitmap holds one *resolved* bit per issued id,
-// set when the event fires or is cancelled. cancel() sets the bit; a heap
-// entry whose bit is set is dead and is skipped when it surfaces. Popped
-// entries leave the heap immediately, so dead entries can only come from
-// cancel(): a stale counter lets the cancel-free pop path skip liveness
-// checks entirely (one integer compare — no hash probe, no bitmap load).
-// A resolved id (popped or cancelled) can never cancel a live event, so
-// double-cancel and cancel-after-fire are rejected instead of corrupting
-// the live count.
+// Ids are issued monotonically, so ordering ties by id makes simultaneous
+// events fire in scheduling order, which keeps runs deterministic (this is
+// the seq field of earlier revisions folded into the id — one less word
+// per heap entry). Cancellation is lazy and O(1): a bitmap holds one
+// *resolved* bit per issued id, set when the event fires or is cancelled.
+// cancel() sets the bit; a heap entry whose bit is set is dead and is
+// skipped when it surfaces. Popped entries leave the heap immediately, so
+// dead entries can only come from cancel(): a stale counter lets the
+// cancel-free pop path skip liveness checks entirely (one integer compare —
+// no hash probe, no bitmap load). A resolved id (popped or cancelled) can
+// never cancel a live event, so double-cancel and cancel-after-fire are
+// rejected instead of corrupting the live count.
+//
+// Each entry also carries an opaque 32-bit `slot` for the owner's payload
+// (the Simulator's handler-slot index). The calendar never interprets it;
+// it only hands the slots of lazily-skipped cancelled entries back through
+// drain_reclaimed_slots() so the owner can recycle them.
 //
 // Memory: one bit per id ever issued (a 50k-job paper run issues ~2e5 ids,
 // i.e. ~25 KB); calendars are per-run objects, so the bitmap's lifetime is
-// one simulation.
+// one simulation. reserve() pre-sizes both the bitmap and the heap from the
+// run's known event horizon (the engine schedules ~2 events per job and
+// keeps at most one arrival plus one departure per busy processor pending).
 #pragma once
 
 #include <cstdint>
@@ -30,12 +37,13 @@ class Calendar {
  public:
   struct Entry {
     double time;
-    std::uint64_t seq;
     EventId id;
+    std::uint32_t slot;
   };
 
-  /// Insert an event; returns its id.
-  EventId push(double time);
+  /// Insert an event; returns its id. `slot` is an opaque payload handle
+  /// returned with the entry on pop (the Simulator's handler slot).
+  EventId push(double time, std::uint32_t slot = 0);
 
   /// Cancel by id; returns false if the id is not pending.
   bool cancel(EventId id);
@@ -49,6 +57,20 @@ class Calendar {
   /// Pop the earliest live event; requires !empty().
   Entry pop();
 
+  /// Pop *every* live event sharing the earliest timestamp into `out`
+  /// (cleared first), in push order — the simulator's same-timestamp batch
+  /// drain. One skip_resolved scan and one front read per entry, no
+  /// re-comparison of the tie key against the whole heap per event.
+  void pop_ties(std::vector<Entry>& out);
+
+  /// Move the payload slots of lazily-skipped cancelled entries into `out`
+  /// (appended); the owner recycles them.
+  void drain_reclaimed_slots(std::vector<std::uint32_t>& out);
+
+  /// Pre-size for a run expected to issue `expected_ids` events with at
+  /// most `expected_pending` simultaneously pending (the event horizon).
+  void reserve(std::size_t expected_ids, std::size_t expected_pending);
+
   void clear();
 
  private:
@@ -61,12 +83,12 @@ class Calendar {
   void heap_pop();
   void skip_resolved();
   [[nodiscard]] static bool less(const Entry& a, const Entry& b) {
-    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+    return a.time < b.time || (a.time == b.time && a.id < b.id);
   }
 
   std::vector<Entry> heap_;
   std::vector<std::uint64_t> resolved_;  // bit per issued id; 1 = fired/cancelled
-  std::uint64_t next_seq_ = 0;
+  std::vector<std::uint32_t> reclaimed_;  // slots of skipped cancelled entries
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;
   std::size_t stale_count_ = 0;  // cancelled entries still buried in heap_

@@ -1,0 +1,25 @@
+#include "util/rusage.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace mcsim {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#elif defined(__unix__)
+  // Linux and the BSDs report ru_maxrss in kilobytes.
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace mcsim

@@ -1,0 +1,14 @@
+// Thin process-resource probe for run provenance (docs/PERFORMANCE.md):
+// the engine stamps peak RSS into the metrics registry at the end of a run
+// so manifests record the memory footprint alongside throughput.
+#pragma once
+
+#include <cstdint>
+
+namespace mcsim {
+
+/// Peak resident set size of this process in bytes, or 0 where the
+/// platform offers no getrusage-style probe.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace mcsim

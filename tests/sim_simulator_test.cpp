@@ -36,7 +36,9 @@ TEST(Simulator, ScheduleInIsRelative) {
 TEST(Simulator, HandlersCanScheduleChains) {
   Simulator sim;
   int count = 0;
-  EventHandler tick = [&]() {
+  // A reusable self-scheduling handler needs a copyable callable type;
+  // EventFn wraps a copy of it at each schedule (move-only itself).
+  std::function<void()> tick = [&]() {
     ++count;
     if (count < 5) sim.schedule_in(1.0, [&] { tick(); });
   };
@@ -147,6 +149,64 @@ TEST(Simulator, SimultaneousEventsRunInScheduleOrder) {
   sim.schedule_at(1.0, [&] { order.push_back(3); });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// The batched tie drain (simulator.hpp, "Hot-path layout") must preserve
+// the exact pre-batching semantics. The next three tests pin the corners:
+// cancelling a batch mate, the pending counts observed mid-batch, and
+// stop() leaving batch remnants that fire on re-entry.
+
+TEST(Simulator, CancelBatchMateAtSameTimestamp) {
+  Simulator sim;
+  bool second_fired = false;
+  bool third_fired = false;
+  EventId second = kNoEvent;
+  // All three share t=1.0, so they are drained as one batch; the first
+  // handler cancels the second while it already sits in the batch buffer.
+  sim.schedule_at(1.0, [&] { EXPECT_TRUE(sim.cancel(second)); });
+  second = sim.schedule_at(1.0, [&] { second_fired = true; });
+  sim.schedule_at(1.0, [&] { third_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+  EXPECT_TRUE(third_fired);
+  // The cancelled mate must not count as executed.
+  EXPECT_EQ(sim.executed_events(), 2u);
+  EXPECT_FALSE(sim.cancel(second));
+}
+
+TEST(Simulator, PendingEventsCountBatchRemnants) {
+  Simulator sim;
+  std::vector<std::size_t> pending;
+  // Three ties at t=1 plus one later event: inside the i-th tie handler the
+  // remaining batch mates are still pending, exactly as they were when the
+  // calendar was popped one event at a time.
+  for (int i = 0; i < 3; ++i) {
+    sim.schedule_at(1.0, [&] { pending.push_back(sim.pending_events()); });
+  }
+  sim.schedule_at(2.0, [&] { pending.push_back(sim.pending_events()); });
+  sim.run();
+  EXPECT_EQ(pending, (std::vector<std::size_t>{3, 2, 1, 0}));
+}
+
+TEST(Simulator, StopMidBatchResumesRemnantsInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.stop();
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.schedule_at(2.0, [&] { order.push_back(4); });
+  sim.run();
+  // stop() returns after the current handler; the undispatched batch mates
+  // stay pending alongside the later event.
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.pending_events(), 3u);
+  // Re-entering the loop drains the remnants in push order before advancing.
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.pending_events(), 0u);
 }
 
 TEST(Simulator, MMOneQueueMatchesTheory) {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "core/job.hpp"
@@ -22,7 +23,7 @@ class FakeContext : public SchedulerContext {
   [[nodiscard]] const Multicluster& system() const override { return system_; }
   [[nodiscard]] double now() const override { return clock; }
 
-  void start_job(const JobPtr& job, Allocation allocation) override {
+  void start_job(JobPtr job, Allocation allocation) override {
     job->allocation = std::move(allocation);
     job->start_time = clock;
     system_.allocate(job->allocation);
@@ -44,6 +45,9 @@ class FakeContext : public SchedulerContext {
 };
 
 /// A job with explicit components (non-increasing) and an origin queue.
+/// Jobs live in a per-process arena (a deque never invalidates element
+/// addresses) so tests can hold plain JobPtr handles, mirroring how the
+/// engine's JobPool hands out stable pointers.
 inline JobPtr make_job(std::uint64_t id, std::vector<std::uint32_t> components,
                        std::uint32_t origin_queue = 0, double service = 100.0) {
   JobSpec spec;
@@ -56,7 +60,9 @@ inline JobPtr make_job(std::uint64_t id, std::vector<std::uint32_t> components,
   spec.wide_area = spec.components.size() > 1;
   spec.gross_service_time = spec.wide_area ? service * 1.25 : service;
   spec.origin_queue = origin_queue;
-  return std::make_shared<Job>(std::move(spec));
+  static std::deque<Job> arena;
+  arena.emplace_back(std::move(spec));
+  return &arena.back();
 }
 
 }  // namespace mcsim::testing
