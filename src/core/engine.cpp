@@ -39,17 +39,20 @@ void SimulationConfig::validate() const {
   MCSIM_REQUIRE(instability_backlog_fraction >= 0.0 && instability_backlog_fraction <= 1.0,
                 "config: instability_backlog_fraction must be in [0,1]");
   if (trace_workload != nullptr) {
-    MCSIM_REQUIRE(!trace_workload->records.empty(),
+    MCSIM_REQUIRE(!(trace_workload->streaming() && !trace_workload->records.empty()),
+                  "config: trace workload has both in-memory records and a "
+                  "stream source; pick one delivery mode");
+    MCSIM_REQUIRE(trace_workload->job_count() > 0,
                   "config: trace workload has no replayable records" +
                       (trace_workload->source_path.empty()
                            ? std::string()
                            : " (" + trace_workload->source_path + ")"));
     MCSIM_REQUIRE(trace_workload->arrival_scale > 0.0,
                   "config: trace arrival_scale must be positive");
-    MCSIM_REQUIRE(total_jobs <= trace_workload->records.size(),
+    MCSIM_REQUIRE(total_jobs <= trace_workload->job_count(),
                   "config: total_jobs (" + std::to_string(total_jobs) +
                       ") exceeds the trace length (" +
-                      std::to_string(trace_workload->records.size()) + ")");
+                      std::to_string(trace_workload->job_count()) + ")");
     if (is_single_cluster_policy(policy)) {
       MCSIM_REQUIRE(!trace_workload->split_jobs,
                     "config: SC replay uses total requests (split_jobs = false)");

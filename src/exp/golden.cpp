@@ -427,25 +427,23 @@ CompareOutcome compare_observations(const obs::JsonValue& expected,
 
 // -- golden documents -------------------------------------------------------
 
-namespace {
-
 // Re-emit a parsed value through the writer. Integer-formatted numbers go
 // out as integers so their text survives verbatim; everything else is a
 // double, for which json_double is idempotent — re-serializing our own
 // output reproduces it byte-for-byte.
-void write_json_value(obs::JsonWriter& json, const obs::JsonValue& value) {
+void write_parsed_json(obs::JsonWriter& json, const obs::JsonValue& value) {
   switch (value.kind()) {
     case obs::JsonValue::Kind::kObject:
       json.begin_object();
       for (const auto& [key, member] : value.members()) {
         json.key(key);
-        write_json_value(json, member);
+        write_parsed_json(json, member);
       }
       json.end_object();
       return;
     case obs::JsonValue::Kind::kArray:
       json.begin_array();
-      for (const obs::JsonValue& item : value.items()) write_json_value(json, item);
+      for (const obs::JsonValue& item : value.items()) write_parsed_json(json, item);
       json.end_array();
       return;
     case obs::JsonValue::Kind::kNumber: {
@@ -473,8 +471,6 @@ void write_json_value(obs::JsonWriter& json, const obs::JsonValue& value) {
   }
 }
 
-}  // namespace
-
 void write_golden_file(std::ostream& out, const ScenarioSpec& spec,
                        const std::string& scenario_file,
                        const std::string& observation_json) {
@@ -493,7 +489,7 @@ void write_golden_file(std::ostream& out, const ScenarioSpec& spec,
   json.key("generated_by").value("mcsim verify --update");
   json.end_object();
   json.key("observed");
-  write_json_value(json, observed);
+  write_parsed_json(json, observed);
   json.end_object();
   out << '\n';
 }

@@ -35,6 +35,7 @@
 
 namespace mcsim::obs {
 class JsonValue;
+class JsonWriter;
 }  // namespace mcsim::obs
 
 namespace mcsim::exp {
@@ -110,6 +111,13 @@ std::string flatten_observation(const obs::JsonValue& observation);
 CompareOutcome compare_observations(const obs::JsonValue& expected,
                                     const obs::JsonValue& got,
                                     const GoldenOptions& options);
+
+/// Re-emit a parsed JSON value on an open writer, reproducing our own
+/// serialization byte-for-byte (integer-formatted numbers stay integers;
+/// doubles go through the idempotent json_double path). Used wherever a
+/// sealed document embeds a previously-serialized observation (golden
+/// files, the trace-corpus summaries of exp/corpus.hpp).
+void write_parsed_json(obs::JsonWriter& json, const obs::JsonValue& value);
 
 /// Write one complete golden document: schema header, scenario file name
 /// and label, the observation digest, provenance (git describe, compiler,

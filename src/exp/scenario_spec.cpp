@@ -7,6 +7,7 @@
 #include "obs/json.hpp"
 #include "obs/json_reader.hpp"
 #include "trace/swf.hpp"
+#include "trace/swf_stream.hpp"
 #include "util/assert.hpp"
 #include "util/strings.hpp"
 #include "workload/das_workload.hpp"
@@ -192,6 +193,9 @@ void validate(const ScenarioSpec& spec) {
     MCSIM_REQUIRE(spec.request_type == RequestType::kUnordered,
                   "scenario: trace replay supports unordered requests only "
                   "(the log does not record per-cluster orderings)");
+  } else {
+    MCSIM_REQUIRE(spec.trace_lookahead == 0 && !spec.trace_whole_file,
+                  "scenario: lookahead/whole_file apply to trace replay only");
   }
   switch (spec.mode) {
     case RunMode::kPoint:
@@ -238,29 +242,57 @@ SimulationConfig to_simulation_config(const ScenarioSpec& spec, double utilizati
   config.cluster_speeds = spec.cluster_speeds;
   config.workload = make_workload(spec, config.cluster_sizes.size());
   if (spec.is_trace()) {
-    // Load and filter the log; the splitting parameters mirror what the
-    // synthetic workload would have used, so a trace exported from a run
-    // replays with identical component tuples.
-    const SwfTrace swf = read_swf_file(spec.trace_path);
+    // Pre-scan the log in one O(1)-memory streaming pass: it validates
+    // every line (including header directives), counts the replayable
+    // records, and yields the aggregate facts scale derivation needs —
+    // without materialising the records. Both delivery modes below share
+    // this scan, so the derived arrival scale is bit-identical between
+    // them.
+    const SwfScan scan = scan_swf_file(spec.trace_path);
+    MCSIM_REQUIRE(scan.summary.total_records > 0,
+                  "scenario: trace " + spec.trace_path +
+                      " has no job records (only " +
+                      std::to_string(scan.header.comments.size()) +
+                      " header/comment line(s) — is this a bare SWF header?)");
+    MCSIM_REQUIRE(scan.summary.usable_records > 0,
+                  "scenario: trace " + spec.trace_path +
+                      " has no replayable records (all " +
+                      std::to_string(scan.summary.total_records) +
+                      " records are cancelled, zero-length or undated)");
     auto trace = std::make_shared<TraceWorkloadConfig>();
-    trace->records = usable_trace_records(swf.records);
-    MCSIM_REQUIRE(!trace->records.empty(),
-                  "scenario: trace " + spec.trace_path + " has no replayable records");
-    trace->skipped_records = swf.records.size() - trace->records.size();
+    // The splitting parameters mirror what the synthetic workload would
+    // have used, so a trace exported from a run replays with identical
+    // component tuples.
     trace->component_limit = config.workload.component_limit;
     trace->num_clusters = config.workload.num_clusters;
     trace->extension_factor = config.workload.extension_factor;
     trace->split_jobs = config.workload.split_jobs;
     trace->source_path = spec.trace_path;
+    trace->skipped_records = scan.summary.total_records - scan.summary.usable_records;
+    if (spec.trace_lookahead != 0) trace->lookahead_window = spec.trace_lookahead;
+    if (spec.trace_whole_file) {
+      // Test-only legacy mode: everything in memory (the equivalence
+      // baseline and the CI peak-RSS gate's "before" side).
+      trace->records = usable_trace_records(read_swf_file(spec.trace_path).records);
+    } else {
+      // Streaming mode: each engine opens its own stream on demand and
+      // re-sorts through the bounded lookahead window, so peak memory is
+      // O(window) however long the log is.
+      const std::string path = spec.trace_path;
+      trace->open_source = [path]() -> std::unique_ptr<TraceRecordSource> {
+        return std::make_unique<SwfFileStream>(path);
+      };
+      trace->streamed_usable_records = scan.summary.usable_records;
+    }
     // Point mode replays at the spec's fixed scale; a sweep re-scales the
     // submit axis per target utilization (the paper's Fig. 3 methodology
     // applied to a recorded log).
     trace->arrival_scale =
         spec.mode == RunMode::kSweep
-            ? trace_scale_for_utilization(trace->records,
-                                          config.total_processors(), utilization)
+            ? trace_scale_for_utilization(scan.summary, config.total_processors(),
+                                          utilization)
             : spec.trace_scale;
-    config.total_jobs = trace->records.size();
+    config.total_jobs = scan.summary.usable_records;
     config.trace_workload = std::move(trace);
   } else {
     config.workload.arrival_rate = config.workload.rate_for_gross_utilization(
@@ -324,6 +356,12 @@ void write_scenario_json(obs::JsonWriter& json, const ScenarioSpec& spec) {
     json.key("type").value("trace");
     json.key("path").value(spec.trace_path);
     json.key("arrival_scale").value(spec.trace_scale);
+    // Non-default streaming knobs only, keeping pre-streaming trace
+    // manifests byte-identical.
+    if (spec.trace_lookahead != 0) {
+      json.key("lookahead").value(static_cast<std::uint64_t>(spec.trace_lookahead));
+    }
+    if (spec.trace_whole_file) json.key("whole_file").value(true);
   }
   json.key("size_model").value(spec.size_model);
   json.key("component_limit").value(static_cast<std::uint64_t>(spec.component_limit));
@@ -420,6 +458,10 @@ void read_workload(const obs::JsonValue& value, ScenarioSpec& spec) {
       spec.trace_path = v.as_string();
     } else if (key == "arrival_scale") {
       spec.trace_scale = v.as_double();
+    } else if (key == "lookahead") {
+      spec.trace_lookahead = static_cast<std::uint32_t>(v.as_uint());
+    } else if (key == "whole_file") {
+      spec.trace_whole_file = v.as_bool();
     } else if (key == "size_model") {
       spec.size_model = v.as_string();
     } else if (key == "component_limit") {

@@ -83,6 +83,17 @@ struct ScenarioSpec {
   /// and raises the offered load; the sweep mode ignores this and derives
   /// a scale per target utilization).
   double trace_scale = 1.0;
+  /// Trace replay: bounded-lookahead window of the streaming reader (0 =
+  /// TraceWorkloadConfig::kDefaultLookaheadWindow). Raise it for archive
+  /// logs whose submit order is scrambled beyond the default window
+  /// (docs/WORKLOADS.md).
+  std::uint32_t trace_lookahead = 0;
+  /// Test-only hook: deliver the trace by loading the whole log into
+  /// memory instead of streaming it — the legacy mode the streaming path
+  /// is pinned bit-identical against
+  /// (tests/trace_streaming_equivalence_test.cpp, the CI peak-RSS gate).
+  /// Results never differ; only peak memory does.
+  bool trace_whole_file = false;
 
   // -- policy -----------------------------------------------------------
   PolicyKind policy = PolicyKind::kGS;

@@ -1,82 +1,23 @@
 #include "trace/swf.hpp"
 
-#include <cstdlib>
 #include <fstream>
-#include <sstream>
 
+#include "trace/swf_stream.hpp"
 #include "util/assert.hpp"
 #include "util/strings.hpp"
 
 namespace mcsim {
 
-namespace {
-[[noreturn]] void parse_error(const std::string& source, std::size_t line_no,
-                              const std::string& message) {
-  // file:line prefix so a malformed record in a megabyte archive log can
-  // actually be found.
-  MCSIM_REQUIRE(false, source + ":" + std::to_string(line_no) + ": " + message);
-  std::abort();  // unreachable: MCSIM_REQUIRE(false, ...) always throws
-}
-}  // namespace
-
+// read_swf is the whole-file convenience wrapper over the incremental
+// SwfStreamReader (trace/swf_stream.hpp); all parsing, hardening and
+// header-directive validation lives there so the streaming replay path and
+// this one cannot drift apart.
 SwfTrace read_swf(std::istream& in, const std::string& source) {
+  SwfStreamReader reader(in, source);
   SwfTrace trace;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    // trim() also strips '\r', so CRLF logs (common in archive downloads)
-    // parse the same as LF ones.
-    const std::string_view trimmed = trim(line);
-    if (trimmed.empty()) continue;
-    if (trimmed.front() == ';') {
-      trace.header_comments.emplace_back(trim(trimmed.substr(1)));
-      continue;
-    }
-
-    // SWF prescribes 18 whitespace-separated fields, but real Parallel
-    // Workloads Archive logs sometimes truncate unused trailing columns;
-    // absent fields read as -1 ("unknown"), exactly as SWF spells missing
-    // values. Extra columns are an error: the line is not SWF.
-    double field[18];
-    for (double& f : field) f = -1.0;
-    std::size_t count = 0;
-    std::size_t pos = 0;
-    while (pos < trimmed.size()) {
-      while (pos < trimmed.size() && (trimmed[pos] == ' ' || trimmed[pos] == '\t')) ++pos;
-      if (pos >= trimmed.size()) break;
-      std::size_t end = pos;
-      while (end < trimmed.size() && trimmed[end] != ' ' && trimmed[end] != '\t') ++end;
-      const std::string token{trimmed.substr(pos, end - pos)};
-      if (count >= 18) {
-        parse_error(source, line_no, "expected at most 18 fields, found more");
-      }
-      char* parsed_end = nullptr;
-      const double value = std::strtod(token.c_str(), &parsed_end);
-      if (parsed_end != token.c_str() + token.size() || token.empty()) {
-        parse_error(source, line_no,
-                    "field " + std::to_string(count + 1) + " is not a number: '" +
-                        token + "'");
-      }
-      field[count++] = value;
-      pos = end;
-    }
-
-    TraceRecord rec;
-    rec.job_id = static_cast<std::uint64_t>(field[0]);
-    rec.submit_time = field[1];
-    rec.wait_time = field[2] >= 0 ? field[2] : 0.0;
-    rec.run_time = field[3] >= 0 ? field[3] : 0.0;
-    const double alloc = field[4] >= 0 ? field[4] : field[7];
-    if (alloc < 0) {
-      parse_error(source, line_no,
-                  "no processor count (allocated and requested both missing)");
-    }
-    rec.processors = static_cast<std::uint32_t>(alloc);
-    rec.killed_by_limit = static_cast<int>(field[10]) == 5;
-    rec.user_id = field[11] >= 0 ? static_cast<std::uint32_t>(field[11]) : 0;
-    trace.records.push_back(rec);
-  }
+  TraceRecord record;
+  while (reader.next(record)) trace.records.push_back(record);
+  trace.header_comments = reader.header().comments;
   return trace;
 }
 

@@ -28,12 +28,16 @@ struct SwfTrace {
   std::vector<TraceRecord> records;
 };
 
-/// Parse an SWF stream. Tolerant of what real Parallel Workloads Archive
-/// logs contain: CRLF line endings, blank lines, ';' comments anywhere,
-/// and truncated lines (absent trailing fields read as -1, SWF's
-/// "unknown"). Throws std::invalid_argument on anything else — non-numeric
-/// fields, more than 18 columns, or a record with no processor count —
-/// with a `source:line:` prefix locating the offending record.
+/// Parse an SWF stream into memory, whole-file. Tolerant of what real
+/// Parallel Workloads Archive logs contain: CRLF line endings, blank
+/// lines, ';' comments anywhere, and truncated lines (absent trailing
+/// fields read as -1, SWF's "unknown"). Throws std::invalid_argument on
+/// anything else — non-numeric fields, more than 18 columns, a record with
+/// no processor count, a malformed header directive, or a record wider
+/// than the header's declared machine — with a `source:line:` prefix
+/// locating the offending line. Implemented over the incremental
+/// SwfStreamReader (trace/swf_stream.hpp), which is what archive-scale
+/// replay uses directly to keep memory O(1) in the log length.
 SwfTrace read_swf(std::istream& in, const std::string& source = "<swf>");
 
 /// Load from a file path.

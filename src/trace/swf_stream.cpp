@@ -1,0 +1,148 @@
+#include "trace/swf_stream.hpp"
+
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace mcsim {
+
+namespace {
+[[noreturn]] void parse_error(const std::string& source, std::uint64_t line_no,
+                              const std::string& message) {
+  // file:line prefix so a malformed record in a multi-million-line archive
+  // log can actually be found.
+  MCSIM_REQUIRE(false, source + ":" + std::to_string(line_no) + ": " + message);
+  std::abort();  // unreachable: MCSIM_REQUIRE(false, ...) always throws
+}
+
+/// The numeric header directives the archive defines. Anything else after
+/// a ';' stays a plain comment (logs carry free-text Computer/Note/
+/// Conversion lines, and mcsim's own exports carry Command/Version lines).
+std::int64_t* directive_slot(SwfHeaderInfo& header, std::string_view key) {
+  const std::string lowered = to_lower(key);
+  if (lowered == "maxjobs") return &header.max_jobs;
+  if (lowered == "maxrecords") return &header.max_records;
+  if (lowered == "maxnodes") return &header.max_nodes;
+  if (lowered == "maxprocs") return &header.max_procs;
+  if (lowered == "maxruntime") return &header.max_runtime;
+  if (lowered == "maxqueues") return &header.max_queues;
+  if (lowered == "maxpartitions") return &header.max_partitions;
+  if (lowered == "unixstarttime") return &header.unix_start_time;
+  return nullptr;
+}
+
+/// Fold one comment line (already stripped of the leading ';') into the
+/// header: known `Key: value` directives are parsed and validated, the
+/// line itself is always kept verbatim in comments.
+void absorb_comment(SwfHeaderInfo& header, std::string_view comment,
+                    const std::string& source, std::uint64_t line_no) {
+  header.comments.emplace_back(comment);
+  const std::size_t colon = comment.find(':');
+  if (colon == std::string_view::npos) return;
+  std::int64_t* slot = directive_slot(header, trim(comment.substr(0, colon)));
+  if (slot == nullptr) return;
+  const std::string value{trim(comment.substr(colon + 1))};
+  char* parsed_end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &parsed_end, 10);
+  if (value.empty() || parsed_end != value.c_str() + value.size() || parsed < 0) {
+    parse_error(source, line_no,
+                "header directive '" + std::string(trim(comment.substr(0, colon))) +
+                    "' needs a non-negative integer, got '" + value + "'");
+  }
+  *slot = static_cast<std::int64_t>(parsed);
+}
+}  // namespace
+
+SwfStreamReader::SwfStreamReader(std::istream& in, std::string source)
+    : in_(in), source_(std::move(source)) {}
+
+bool SwfStreamReader::next(TraceRecord& out) {
+  while (std::getline(in_, line_)) {
+    ++line_no_;
+    // trim() also strips '\r', so CRLF logs (common in archive downloads)
+    // parse the same as LF ones.
+    const std::string_view trimmed = trim(line_);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == ';') {
+      absorb_comment(header_, trim(trimmed.substr(1)), source_, line_no_);
+      continue;
+    }
+
+    // SWF prescribes 18 whitespace-separated fields, but real Parallel
+    // Workloads Archive logs sometimes truncate unused trailing columns;
+    // absent fields read as -1 ("unknown"), exactly as SWF spells missing
+    // values. Extra columns are an error: the line is not SWF.
+    double field[18];
+    for (double& f : field) f = -1.0;
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while (pos < trimmed.size()) {
+      while (pos < trimmed.size() && (trimmed[pos] == ' ' || trimmed[pos] == '\t')) ++pos;
+      if (pos >= trimmed.size()) break;
+      std::size_t end = pos;
+      while (end < trimmed.size() && trimmed[end] != ' ' && trimmed[end] != '\t') ++end;
+      const std::string token{trimmed.substr(pos, end - pos)};
+      if (count >= 18) {
+        parse_error(source_, line_no_, "expected at most 18 fields, found more");
+      }
+      char* parsed_end = nullptr;
+      const double value = std::strtod(token.c_str(), &parsed_end);
+      if (parsed_end != token.c_str() + token.size() || token.empty()) {
+        parse_error(source_, line_no_,
+                    "field " + std::to_string(count + 1) + " is not a number: '" +
+                        token + "'");
+      }
+      field[count++] = value;
+      pos = end;
+    }
+
+    TraceRecord rec;
+    rec.job_id = static_cast<std::uint64_t>(field[0]);
+    rec.submit_time = field[1];
+    rec.wait_time = field[2] >= 0 ? field[2] : 0.0;
+    rec.run_time = field[3] >= 0 ? field[3] : 0.0;
+    const double alloc = field[4] >= 0 ? field[4] : field[7];
+    if (alloc < 0) {
+      parse_error(source_, line_no_,
+                  "no processor count (allocated and requested both missing)");
+    }
+    rec.processors = static_cast<std::uint32_t>(alloc);
+    // Validate against the machine the header declares: a job wider than
+    // the whole system means the log is internally inconsistent, and
+    // replaying it would silently misreport utilization.
+    const std::int64_t declared = header_.declared_processors();
+    if (declared > 0 && static_cast<std::int64_t>(rec.processors) > declared) {
+      parse_error(source_, line_no_,
+                  "job requests " + std::to_string(rec.processors) +
+                      " processors but the header declares " +
+                      (header_.max_procs >= 0 ? "MaxProcs: " : "MaxNodes: ") +
+                      std::to_string(declared));
+    }
+    rec.killed_by_limit = static_cast<int>(field[10]) == 5;
+    rec.user_id = field[11] >= 0 ? static_cast<std::uint32_t>(field[11]) : 0;
+    ++records_read_;
+    out = rec;
+    return true;
+  }
+  return false;
+}
+
+SwfFileStream::SwfFileStream(const std::string& path)
+    : file_(path), reader_(file_, path) {
+  MCSIM_REQUIRE(file_.good(), "cannot open trace file: " + path);
+}
+
+bool SwfFileStream::next(TraceRecord& out) { return reader_.next(out); }
+
+SwfScan scan_swf_file(const std::string& path) {
+  SwfFileStream stream(path);
+  SwfScan scan;
+  scan.summary = summarize_trace_source(stream);
+  scan.header = stream.header();
+  return scan;
+}
+
+}  // namespace mcsim

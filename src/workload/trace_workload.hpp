@@ -24,30 +24,59 @@
 // methodology applied to a recorded log: service demand is untouched, so
 // scaling submit times by s divides the offered load by s.
 //
-// Depends only on the header-only trace/record.hpp — file I/O (read_swf)
-// stays in mcsim_trace, which links *against* this library, so loading a
-// trace from disk into a TraceWorkloadConfig happens one layer up (exp).
+// Two delivery modes (docs/WORKLOADS.md, "The streaming memory model"):
+//
+//   * streaming (`open_source` set): records are pulled on demand from a
+//     TraceRecordSource and re-ordered through a bounded lookahead heap of
+//     `lookahead_window` records, so peak memory is O(window) regardless
+//     of log length. Real archive logs are only approximately sorted by
+//     submit time; as long as no record is displaced by more than the
+//     window from its sorted position, the emission order — and therefore
+//     every downstream statistic — is bit-identical to the in-memory sort.
+//     A displacement beyond the window is detected and reported (never
+//     silently misordered).
+//   * in-memory (`records` filled): the legacy whole-file mode, retained
+//     for programmatic configs built from record vectors and as the
+//     equivalence baseline the streaming path is pinned against
+//     (tests/trace_streaming_equivalence_test.cpp).
+//
+// Depends only on header-only trace headers — file I/O (SwfFileStream)
+// stays in mcsim_trace, which links *against* this library, so opening a
+// log happens one layer up (exp) through the open_source factory.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
 #include "trace/record.hpp"
 #include "workload/job_source.hpp"
+#include "workload/trace_source.hpp"
 #include "workload/workload.hpp"
 
 namespace mcsim {
 
-/// Everything needed to replay a trace: the (filtered, submit-ordered)
-/// records plus the splitting parameters the synthetic workload would have
-/// used. Shared immutably so a SimulationConfig stays cheap to copy across
-/// sweep points and runner threads.
+/// Everything needed to replay a trace: where its records come from (one
+/// of the two modes above) plus the splitting parameters the synthetic
+/// workload would have used. Shared immutably so a SimulationConfig stays
+/// cheap to copy across sweep points and runner threads; in streaming mode
+/// each engine calls `open_source` once and owns its stream.
 struct TraceWorkloadConfig {
-  /// Records to replay, sorted by (submit_time, job_id). Use
-  /// usable_trace_records() to build this from a raw SWF read.
+  /// In-memory mode: records to replay, sorted by (submit_time, job_id).
+  /// Use usable_trace_records() to build this from a raw SWF read. Must be
+  /// empty when `open_source` is set.
   std::vector<TraceRecord> records;
+  /// Streaming mode: factory for a fresh record stream per engine.
+  TraceSourceFactory open_source;
+  /// Streaming mode: usable-record count from the pre-scan (drives
+  /// total_jobs validation; scan_swf_file computes it).
+  std::uint64_t streamed_usable_records = 0;
+  /// Streaming mode: size of the bounded re-sort heap. Replay order is
+  /// identical to the full in-memory sort as long as no record is further
+  /// than this many usable records from its sorted position.
+  std::uint32_t lookahead_window = kDefaultLookaheadWindow;
   /// Multiplies every submit time; < 1 compresses the trace (raises load).
   double arrival_scale = 1.0;
   /// Component-size limit handed to split_job (as WorkloadConfig).
@@ -62,27 +91,43 @@ struct TraceWorkloadConfig {
   bool split_jobs = true;
   /// Provenance only (error messages, manifests); may be empty.
   std::string source_path;
-  /// How many raw records usable_trace_records() dropped (provenance).
+  /// How many raw records the usable filter dropped (provenance).
   std::uint64_t skipped_records = 0;
+
+  static constexpr std::uint32_t kDefaultLookaheadWindow = 4096;
+
+  [[nodiscard]] bool streaming() const { return static_cast<bool>(open_source); }
+  /// Replayable records this config will deliver, whichever the mode.
+  [[nodiscard]] std::uint64_t job_count() const {
+    return streaming() ? streamed_usable_records : records.size();
+  }
 };
 
-/// Filter a raw trace down to replayable records (positive processor count
-/// and run time, non-negative submit) and sort by (submit_time, job_id) so
-/// replay order is deterministic regardless of log order.
+/// Filter a raw trace down to replayable records (trace_record_usable) and
+/// sort by (submit_time, job_id) so replay order is deterministic
+/// regardless of log order. The in-memory construction path.
 [[nodiscard]] std::vector<TraceRecord> usable_trace_records(
     const std::vector<TraceRecord>& raw);
 
 /// Offered gross utilization inherent in a trace on `total_processors`
 /// CPUs: sum(processors * run) / (total_processors * submit span). Returns
-/// 0 when the submit span is empty (single arrival instant).
+/// 0 when the submit span is empty (single arrival instant). The summary
+/// overload is the canonical streaming form (sums in source order, O(1)
+/// memory); the vector form sums in the vector's order, so hand it the
+/// same ordering when bit-identical scales matter.
 [[nodiscard]] double trace_offered_gross_utilization(
     const std::vector<TraceRecord>& records, std::uint32_t total_processors);
+[[nodiscard]] double trace_offered_gross_utilization(
+    const TraceStreamSummary& summary, std::uint32_t total_processors);
 
-/// Arrival scale that makes `records` offer gross utilization `target` on
+/// Arrival scale that makes the trace offer gross utilization `target` on
 /// `total_processors` CPUs: scaling submits by s divides offered load by
 /// s, so s = inherent / target.
 [[nodiscard]] double trace_scale_for_utilization(
     const std::vector<TraceRecord>& records, std::uint32_t total_processors,
+    double target);
+[[nodiscard]] double trace_scale_for_utilization(
+    const TraceStreamSummary& summary, std::uint32_t total_processors,
     double target);
 
 class TraceWorkload : public JobSource {
@@ -92,11 +137,34 @@ class TraceWorkload : public JobSource {
   bool next(JobSpec& out) override;
 
   [[nodiscard]] const TraceWorkloadConfig& config() const { return *config_; }
-  [[nodiscard]] std::uint64_t jobs_emitted() const { return next_index_; }
+  [[nodiscard]] std::uint64_t jobs_emitted() const { return emitted_; }
 
  private:
+  /// Streaming mode: top up the lookahead heap from the stream, skipping
+  /// unusable records, until it holds `lookahead_window` records or the
+  /// stream runs dry.
+  void refill_lookahead();
+  void emit(const TraceRecord& rec, JobSpec& out);
+
+  struct SubmitOrderAfter {
+    bool operator()(const TraceRecord& a, const TraceRecord& b) const {
+      // priority_queue keeps the *largest* on top, so "greater" comparison
+      // makes top() the earliest (submit_time, job_id) — a bounded merge
+      // of the almost-sorted stream.
+      if (a.submit_time != b.submit_time) return a.submit_time > b.submit_time;
+      return a.job_id > b.job_id;
+    }
+  };
+
   std::shared_ptr<const TraceWorkloadConfig> config_;
-  std::uint64_t next_index_ = 0;
+  std::uint64_t emitted_ = 0;
+  // Streaming state (unused in in-memory mode).
+  std::unique_ptr<TraceRecordSource> stream_;
+  std::priority_queue<TraceRecord, std::vector<TraceRecord>, SubmitOrderAfter>
+      lookahead_;
+  bool stream_exhausted_ = false;
+  double last_submit_ = 0.0;
+  std::uint64_t last_job_id_ = 0;
 };
 
 }  // namespace mcsim

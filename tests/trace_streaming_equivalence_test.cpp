@@ -1,0 +1,88 @@
+// Streaming-equivalence gate: every checked-in SWF log, replayed through
+// the bounded-lookahead streaming path, must produce the bit-identical
+// canonical observation the legacy whole-file load produces. The
+// whole-file delivery mode exists as a test-only hook exactly for this
+// pin (ScenarioSpec::trace_whole_file, docs/WORKLOADS.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/corpus.hpp"
+#include "exp/golden.hpp"
+#include "exp/scenario_spec.hpp"
+
+#ifndef MCSIM_DATA_DIR
+#define MCSIM_DATA_DIR "data"
+#endif
+
+namespace mcsim::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every SWF log the repo checks in: the DAS1 synthetic sample plus the
+/// archive-style corpus.
+std::vector<std::string> checked_in_logs() {
+  std::vector<std::string> logs = {
+      std::string(MCSIM_DATA_DIR) + "/das1_synthetic_sample.swf"};
+  const std::string corpus = std::string(MCSIM_DATA_DIR) + "/archive_samples";
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".swf") {
+      logs.push_back(entry.path().string());
+    }
+  }
+  std::sort(logs.begin(), logs.end());
+  return logs;
+}
+
+TEST(StreamingEquivalence, EveryCheckedInLogMatchesWholeFileBitExactly) {
+  const std::vector<std::string> logs = checked_in_logs();
+  ASSERT_GE(logs.size(), 5u) << "corpus went missing under " << MCSIM_DATA_DIR;
+
+  for (const std::string& log : logs) {
+    ScenarioSpec base;  // GS, worst-fit, the corpus defaults
+    CorpusOptions streaming;
+    CorpusOptions whole_file;
+    whole_file.whole_file = true;
+
+    const std::string streamed = corpus_log_observation(base, log, streaming);
+    const std::string loaded = corpus_log_observation(base, log, whole_file);
+    // String equality of the canonical observations = bit-identical
+    // statistics, job for job (doubles print at round-trip precision).
+    EXPECT_EQ(streamed, loaded) << "streaming replay of " << log
+                                << " diverges from the whole-file load";
+  }
+}
+
+TEST(StreamingEquivalence, TinyLookaheadWindowStillMatchesWhenLogIsSorted) {
+  // The DAS1 sample is submit-sorted, so even a 2-record window must
+  // reproduce the whole-file observation.
+  const std::string log =
+      std::string(MCSIM_DATA_DIR) + "/das1_synthetic_sample.swf";
+  ScenarioSpec base;
+  CorpusOptions tiny;
+  tiny.lookahead = 2;
+  CorpusOptions whole_file;
+  whole_file.whole_file = true;
+  EXPECT_EQ(corpus_log_observation(base, log, tiny),
+            corpus_log_observation(base, log, whole_file));
+}
+
+TEST(StreamingEquivalence, ArchiveSampleNeedsTheLookaheadWindow) {
+  // The archive samples are deliberately scrambled (bounded disorder), so
+  // a 1-record window must trip the out-of-order guard — proving the
+  // equivalence above exercises the re-sort, not already-sorted input.
+  const std::string log =
+      std::string(MCSIM_DATA_DIR) + "/archive_samples/sdsc_sp2_style.swf";
+  ScenarioSpec base;
+  CorpusOptions tiny;
+  tiny.lookahead = 1;
+  EXPECT_THROW(corpus_log_observation(base, log, tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcsim::exp

@@ -1,0 +1,171 @@
+// TraceWorkload streaming mode: the bounded-lookahead merge must emit the
+// exact sequence the in-memory sort emits — and fail loudly when the log's
+// disorder exceeds the window instead of silently misordering.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "workload/trace_source.hpp"
+#include "workload/trace_workload.hpp"
+
+namespace mcsim {
+namespace {
+
+TraceRecord record(std::uint64_t id, double submit, double run,
+                   std::uint32_t procs) {
+  TraceRecord rec;
+  rec.job_id = id;
+  rec.submit_time = submit;
+  rec.run_time = run;
+  rec.processors = procs;
+  rec.user_id = static_cast<std::uint32_t>(id);
+  return rec;
+}
+
+/// Vector-backed TraceRecordSource for driving the streaming path without
+/// file I/O.
+class VectorSource final : public TraceRecordSource {
+ public:
+  explicit VectorSource(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {}
+
+  bool next(TraceRecord& out) override {
+    if (next_ >= records_.size()) return false;
+    out = records_[next_++];
+    return true;
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t next_ = 0;
+};
+
+std::shared_ptr<TraceWorkloadConfig> streaming_config(
+    std::vector<TraceRecord> records, std::uint32_t window) {
+  auto config = std::make_shared<TraceWorkloadConfig>();
+  std::uint64_t usable = 0;
+  for (const TraceRecord& rec : records) {
+    if (trace_record_usable(rec)) ++usable;
+  }
+  config->streamed_usable_records = usable;
+  config->lookahead_window = window;
+  config->open_source = [records = std::move(records)]() {
+    return std::make_unique<VectorSource>(records);
+  };
+  return config;
+}
+
+std::vector<JobSpec> drain(TraceWorkload& source) {
+  std::vector<JobSpec> jobs;
+  JobSpec job;
+  while (source.next(job)) jobs.push_back(job);
+  return jobs;
+}
+
+TEST(TraceStream, StreamingMatchesInMemoryOnScrambledInput) {
+  // File order is scrambled but no record is displaced by more than 3
+  // positions; a window of 4 reproduces the full sort.
+  const std::vector<TraceRecord> scrambled = {
+      record(3, 20.0, 60.0, 4), record(1, 0.0, 30.0, 2),
+      record(2, 10.0, 45.0, 8), record(5, 40.0, 10.0, 1),
+      record(4, 30.0, 20.0, 16), record(6, 50.0, 5.0, 2),
+  };
+
+  auto in_memory = std::make_shared<TraceWorkloadConfig>();
+  in_memory->records = usable_trace_records(scrambled);
+  TraceWorkload whole(in_memory);
+
+  TraceWorkload streamed(streaming_config(scrambled, 4));
+
+  const std::vector<JobSpec> expected = drain(whole);
+  const std::vector<JobSpec> got = drain(streamed);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i].id, expected[i].id);
+    EXPECT_DOUBLE_EQ(got[i].arrival_time, expected[i].arrival_time);
+    EXPECT_EQ(got[i].total_size, expected[i].total_size);
+    EXPECT_EQ(got[i].components, expected[i].components);
+    EXPECT_DOUBLE_EQ(got[i].service_time, expected[i].service_time);
+    EXPECT_EQ(got[i].origin_queue, expected[i].origin_queue);
+  }
+  EXPECT_EQ(streamed.jobs_emitted(), 6u);
+}
+
+TEST(TraceStream, SkipsUnusableRecordsMidStream) {
+  const std::vector<TraceRecord> records = {
+      record(1, 0.0, 30.0, 2),
+      record(2, 10.0, 0.0, 8),   // zero run time: cancelled
+      record(3, 20.0, 60.0, 0),  // zero processors
+      record(4, 30.0, 20.0, 4),
+  };
+  TraceWorkload streamed(streaming_config(records, 64));
+  const std::vector<JobSpec> jobs = drain(streamed);
+  ASSERT_EQ(jobs.size(), 2u);
+  // Replay ids are sequential emission indices, not the log's ids.
+  EXPECT_EQ(jobs[0].id, 0u);
+  EXPECT_EQ(jobs[1].id, 1u);
+  EXPECT_DOUBLE_EQ(jobs[1].arrival_time, 30.0);
+}
+
+TEST(TraceStream, DisorderBeyondWindowThrowsInsteadOfMisordering) {
+  // The earliest record arrives 3 positions late; a window of 2 pops a
+  // later submit first and must detect the inversion when 0.0 surfaces.
+  std::vector<TraceRecord> records = {
+      record(2, 10.0, 30.0, 2), record(3, 20.0, 30.0, 2),
+      record(4, 30.0, 30.0, 2), record(1, 0.0, 30.0, 2),
+  };
+  auto config = streaming_config(std::move(records), 2);
+  config->source_path = "scrambled.swf";
+  TraceWorkload streamed(std::move(config));
+  JobSpec job;
+  ASSERT_TRUE(streamed.next(job));
+  try {
+    while (streamed.next(job)) {
+    }
+    FAIL() << "expected the out-of-order guard to fire";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("scrambled.swf"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of order"), std::string::npos) << what;
+    EXPECT_NE(what.find("lookahead_window"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceStream, WindowOfOneHandlesSortedInput) {
+  const std::vector<TraceRecord> records = {
+      record(1, 0.0, 30.0, 2), record(2, 10.0, 45.0, 8),
+      record(3, 20.0, 60.0, 4),
+  };
+  TraceWorkload streamed(streaming_config(records, 1));
+  EXPECT_EQ(drain(streamed).size(), 3u);
+}
+
+TEST(TraceStream, RejectsBothDeliveryModesAtOnce) {
+  auto config = streaming_config({record(1, 0.0, 30.0, 2)}, 16);
+  config->records = {record(1, 0.0, 30.0, 2)};
+  EXPECT_THROW(TraceWorkload{std::move(config)}, std::invalid_argument);
+}
+
+TEST(TraceStream, RejectsZeroWindow) {
+  auto config = streaming_config({record(1, 0.0, 30.0, 2)}, 16);
+  config->lookahead_window = 0;
+  EXPECT_THROW(TraceWorkload{std::move(config)}, std::invalid_argument);
+}
+
+TEST(TraceStream, SummaryUtilizationMatchesVectorOverload) {
+  const std::vector<TraceRecord> records = {
+      record(1, 0.0, 50.0, 4), record(2, 100.0, 25.0, 8),
+  };
+  VectorSource source{records};
+  const TraceStreamSummary summary = summarize_trace_source(source);
+  EXPECT_DOUBLE_EQ(trace_offered_gross_utilization(summary, 16),
+                   trace_offered_gross_utilization(records, 16));
+  EXPECT_DOUBLE_EQ(trace_scale_for_utilization(summary, 16, 0.5),
+                   trace_scale_for_utilization(records, 16, 0.5));
+}
+
+}  // namespace
+}  // namespace mcsim

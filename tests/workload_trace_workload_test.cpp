@@ -71,7 +71,7 @@ TEST(TraceUtilization, ZeroSpanIsZero) {
   const std::vector<TraceRecord> records = {record(1, 5.0, 50.0, 4),
                                             record(2, 5.0, 25.0, 8)};
   EXPECT_DOUBLE_EQ(trace_offered_gross_utilization(records, 16), 0.0);
-  EXPECT_DOUBLE_EQ(trace_offered_gross_utilization({}, 16), 0.0);
+  EXPECT_DOUBLE_EQ(trace_offered_gross_utilization(std::vector<TraceRecord>{}, 16), 0.0);
 }
 
 TEST(TraceUtilization, ScaleIsInherentOverTarget) {
@@ -82,7 +82,8 @@ TEST(TraceUtilization, ScaleIsInherentOverTarget) {
   // inherent 0.25 -> target 0.5 compresses submits by half.
   EXPECT_DOUBLE_EQ(trace_scale_for_utilization(records, 16, 0.5), 0.5);
   EXPECT_DOUBLE_EQ(trace_scale_for_utilization(records, 16, 0.125), 2.0);
-  EXPECT_THROW(trace_scale_for_utilization({}, 16, 0.5), std::invalid_argument);
+  EXPECT_THROW(trace_scale_for_utilization(std::vector<TraceRecord>{}, 16, 0.5),
+               std::invalid_argument);
 }
 
 TEST(TraceWorkload, ConvertsRecordsToJobSpecs) {

@@ -52,6 +52,7 @@
 #include <string_view>
 
 #include "core/saturation.hpp"
+#include "exp/corpus.hpp"
 #include "exp/gnuplot.hpp"
 #include "exp/golden.hpp"
 #include "exp/manifest.hpp"
@@ -355,6 +356,51 @@ int verify_replay_against(const SimulationResult& result,
   return 0;
 }
 
+/// `replay --corpus=<dir>`: stream every log in the directory, each on a
+/// machine sized from its own header and scaled to the same target
+/// utilization; optionally check or regenerate the sealed per-log summary
+/// goldens (docs/WORKLOADS.md).
+int execute_corpus(const exp::ScenarioSpec& base, const CliParser& parser) {
+  exp::CorpusOptions options;
+  options.utilization = parser.get_double("utilization");
+  if (!parser.get("lookahead").empty()) {
+    options.lookahead = static_cast<std::uint32_t>(parser.get_uint("lookahead"));
+  }
+  options.whole_file = parser.get_flag("whole-file");
+  options.golden_dir = parser.get("goldens");
+  if (parser.get_flag("update-goldens")) {
+    options.golden_mode = exp::CorpusGoldenMode::kUpdate;
+  } else if (parser.get_flag("check-goldens")) {
+    options.golden_mode = exp::CorpusGoldenMode::kCheck;
+  }
+
+  const exp::CorpusReport report =
+      exp::run_corpus(base, parser.get("corpus"), options);
+
+  TextTable table({"log", "jobs", "machine", "scale", "status", "detail"});
+  std::size_t passed = 0;
+  for (const exp::CorpusLogVerdict& verdict : report.verdicts) {
+    table.add_row({verdict.log_file, std::to_string(verdict.usable_records),
+                   std::to_string(verdict.machine_processors),
+                   format_double(verdict.arrival_scale, 4),
+                   exp::verify_status_name(verdict.status), verdict.detail});
+    if (verdict.status == exp::VerifyStatus::kPass ||
+        verdict.status == exp::VerifyStatus::kUpdated) {
+      ++passed;
+    }
+  }
+  std::cout << table.render();
+  std::cout << "corpus: " << passed << '/' << report.verdicts.size()
+            << " logs at target utilization "
+            << format_util(options.utilization) << '\n';
+  if (!report.ok()) {
+    std::cerr << "mcsim replay: FAILED — " << (report.verdicts.size() - passed)
+              << " log(s) diverge, errored, or lack summaries\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_replay(int argc, const char* const* argv) {
   CliParser parser("mcsim replay: drive the schedulers from a recorded SWF trace");
   add_scenario_options(parser);
@@ -364,10 +410,38 @@ int cmd_replay(int argc, const char* const* argv) {
   parser.add_option("verify-against", "",
                     "manifest of the run that exported this trace: compare "
                     "wait/response statistics bit-exactly, non-zero exit on drift");
+  parser.add_option("lookahead", "",
+                    "streaming reader: bounded re-sort window in records "
+                    "(default 4096; raise for heavily scrambled logs)");
+  parser.add_flag("whole-file",
+                  "load the whole log into memory instead of streaming it "
+                  "(equivalence/memory baseline; results are identical)");
+  parser.add_option("corpus", "",
+                    "replay every .swf under this directory instead of one "
+                    "log (per-log machine from the SWF header)");
+  parser.add_option("utilization", "0.7",
+                    "corpus mode: per-log target gross utilization");
+  parser.add_option("goldens", "data/golden/corpus",
+                    "corpus mode: directory of sealed per-log summaries");
+  parser.add_flag("check-goldens",
+                  "corpus mode: compare each log against its sealed summary, "
+                  "non-zero exit on drift");
+  parser.add_flag("update-goldens",
+                  "corpus mode: regenerate the sealed per-log summaries");
   add_point_output_options(parser);
   if (!parser.parse(argc, argv)) return 0;
+
+  if (!parser.get("corpus").empty()) {
+    if (!parser.positional().empty()) {
+      std::cerr << "mcsim replay: --corpus replays a directory; drop the "
+                   "positional trace argument\n";
+      return 1;
+    }
+    return execute_corpus(spec_from(parser), parser);
+  }
   if (parser.positional().empty()) {
-    std::cerr << "usage: mcsim replay <trace.swf> [options]\n";
+    std::cerr << "usage: mcsim replay <trace.swf> [options]\n"
+                 "       mcsim replay --corpus=<dir> [options]\n";
     return 1;
   }
 
@@ -375,6 +449,10 @@ int cmd_replay(int argc, const char* const* argv) {
   spec.mode = exp::RunMode::kPoint;
   spec.trace_path = parser.positional().front();
   spec.trace_scale = parser.get_double("scale");
+  if (!parser.get("lookahead").empty()) {
+    spec.trace_lookahead = static_cast<std::uint32_t>(parser.get_uint("lookahead"));
+  }
+  spec.trace_whole_file = parser.get_flag("whole-file");
   int code = 0;
   if (emit_spec_requested(parser, spec, &code)) return code;
   SimulationResult result;
