@@ -13,6 +13,7 @@ const char* placement_rule_name(PlacementRule rule) {
     case PlacementRule::kWorstFit: return "WF";
     case PlacementRule::kFirstFit: return "FF";
     case PlacementRule::kBestFit: return "BF";
+    case PlacementRule::kLoadAware: return "LA";
   }
   return "?";
 }
@@ -28,7 +29,11 @@ PlacementRule parse_placement_rule(const std::string& name) {
   if (lower == "bf" || lower == "best-fit" || lower == "bestfit") {
     return PlacementRule::kBestFit;
   }
-  MCSIM_REQUIRE(false, "unknown placement rule: " + name + " (expected WF, FF, or BF)");
+  if (lower == "la" || lower == "load-aware" || lower == "loadaware") {
+    return PlacementRule::kLoadAware;
+  }
+  MCSIM_REQUIRE(false,
+                "unknown placement rule: " + name + " (expected WF, FF, BF, or LA)");
   return PlacementRule::kWorstFit;
 }
 
@@ -92,6 +97,46 @@ std::optional<Allocation> place_first_fit(const std::vector<std::uint32_t>& comp
   return allocation;
 }
 
+/// Fill `order` with cluster ids by (idle fraction desc, id asc). The
+/// comparison cross-multiplies (idle[a]/cap[a] vs idle[b]/cap[b] becomes
+/// idle[a]*cap[b] vs idle[b]*cap[a]) so ordering stays exact — no floating
+/// point, no platform drift.
+void clusters_by_idle_fraction_desc(const std::vector<std::uint32_t>& idle,
+                                    const std::vector<std::uint32_t>& capacities,
+                                    std::vector<ClusterId>& order) {
+  order.clear();
+  order.reserve(idle.size());
+  const auto fraction_at_least = [&](ClusterId a, ClusterId b) {
+    // idle[a]/cap[a] >= idle[b]/cap[b], exactly.
+    return static_cast<std::uint64_t>(idle[a]) * capacities[b] >=
+           static_cast<std::uint64_t>(idle[b]) * capacities[a];
+  };
+  for (ClusterId c = 0; c < idle.size(); ++c) {
+    auto it = order.begin();
+    while (it != order.end() && fraction_at_least(*it, c)) ++it;
+    order.insert(it, c);
+  }
+}
+
+std::optional<Allocation> place_load_aware(const std::vector<std::uint32_t>& components,
+                                           const std::vector<std::uint32_t>& idle,
+                                           const std::vector<std::uint32_t>& capacities,
+                                           PlacementScratch& scratch) {
+  clusters_by_idle_fraction_desc(idle, capacities, scratch.order);
+  // Like WF, decide before building the allocation. Unlike WF the
+  // fraction pairing is not a complete fit test on heterogeneous layouts —
+  // a reject here is the rule's decision, not a proof nothing fits.
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (components[i] > idle[scratch.order[i]]) return std::nullopt;
+  }
+  Allocation allocation;
+  allocation.reserve(components.size());
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    allocation.push_back(ComponentPlacement{scratch.order[i], components[i]});
+  }
+  return allocation;
+}
+
 std::optional<Allocation> place_best_fit(const std::vector<std::uint32_t>& components,
                                          const std::vector<std::uint32_t>& idle,
                                          PlacementScratch& scratch) {
@@ -135,8 +180,27 @@ std::optional<Allocation> place_components(const std::vector<std::uint32_t>& com
     case PlacementRule::kWorstFit: return place_worst_fit(components, idle_counts, scratch);
     case PlacementRule::kFirstFit: return place_first_fit(components, idle_counts, scratch);
     case PlacementRule::kBestFit: return place_best_fit(components, idle_counts, scratch);
+    case PlacementRule::kLoadAware:
+      MCSIM_REQUIRE(false, "load-aware placement needs cluster capacities "
+                           "(use the capacity-aware overload)");
   }
   return std::nullopt;
+}
+
+std::optional<Allocation> place_components(const std::vector<std::uint32_t>& components,
+                                           const std::vector<std::uint32_t>& idle_counts,
+                                           const std::vector<std::uint32_t>& capacities,
+                                           PlacementRule rule, PlacementScratch& scratch) {
+  if (rule != PlacementRule::kLoadAware) {
+    return place_components(components, idle_counts, rule, scratch);
+  }
+  MCSIM_REQUIRE(!components.empty(), "request has no components");
+  MCSIM_REQUIRE(components.size() <= idle_counts.size(),
+                "more components than clusters");
+  MCSIM_REQUIRE(is_non_increasing(components), "components must be non-increasing");
+  MCSIM_REQUIRE(capacities.size() == idle_counts.size(),
+                "capacities must match the cluster count");
+  return place_load_aware(components, idle_counts, capacities, scratch);
 }
 
 std::optional<Allocation> place_on_cluster(std::uint32_t processors, ClusterId cluster,

@@ -8,7 +8,10 @@
 // second largest with the second most-idle, and so on; with both lists
 // sorted decreasingly this is also a *complete* fit test — if this pairing
 // fails, no assignment to distinct clusters fits. First Fit and Best Fit
-// are provided for ablation studies.
+// are provided for ablation studies; Load-Aware is Worst Fit over idle
+// *fractions* instead of idle counts, which differs from WF only on
+// heterogeneous layouts (it spreads load evenly relative to cluster size
+// rather than piling components onto the biggest cluster).
 #pragma once
 
 #include <cstdint>
@@ -20,10 +23,10 @@
 
 namespace mcsim {
 
-enum class PlacementRule { kWorstFit, kFirstFit, kBestFit };
+enum class PlacementRule { kWorstFit, kFirstFit, kBestFit, kLoadAware };
 
 const char* placement_rule_name(PlacementRule rule);
-/// Parse a placement-rule name ("WF", "ff", "best-fit", ...;
+/// Parse a placement-rule name ("WF", "ff", "best-fit", "load-aware", ...;
 /// case-insensitive). Throws std::invalid_argument on anything else.
 PlacementRule parse_placement_rule(const std::string& name);
 
@@ -40,7 +43,7 @@ struct PlacementScratch {
 /// Try to place `components` (must be non-increasing) on distinct clusters
 /// given per-cluster idle counts. Returns std::nullopt if the request does
 /// not fit. Ties on idle counts break toward the lower cluster id, keeping
-/// runs deterministic.
+/// runs deterministic. kLoadAware needs capacities — use the overload below.
 std::optional<Allocation> place_components(const std::vector<std::uint32_t>& components,
                                            const std::vector<std::uint32_t>& idle_counts,
                                            PlacementRule rule = PlacementRule::kWorstFit);
@@ -50,6 +53,15 @@ std::optional<Allocation> place_components(const std::vector<std::uint32_t>& com
 /// the request is known to fit.
 std::optional<Allocation> place_components(const std::vector<std::uint32_t>& components,
                                            const std::vector<std::uint32_t>& idle_counts,
+                                           PlacementRule rule, PlacementScratch& scratch);
+
+/// Capacity-aware variant: required for kLoadAware (which orders clusters
+/// by idle/capacity, exact integer cross-multiplication, ties toward the
+/// lower id); the other rules ignore `capacities` and decide identically
+/// to the overloads above.
+std::optional<Allocation> place_components(const std::vector<std::uint32_t>& components,
+                                           const std::vector<std::uint32_t>& idle_counts,
+                                           const std::vector<std::uint32_t>& capacities,
                                            PlacementRule rule, PlacementScratch& scratch);
 
 /// Place a single-component job on one specific cluster (LS local jobs).

@@ -116,8 +116,14 @@ MulticlusterSimulation::MulticlusterSimulation(SimulationConfig config)
       system_(make_system(config_)),
       source_(make_source(config_)),
       utilization_(system_.total_processors(), 0.0) {
-  scheduler_ = make_scheduler(config_.policy, *this, config_.placement, config_.backfill,
-                              config_.discipline);
+  if (config_.scheduler_factory) {
+    scheduler_ = config_.scheduler_factory(*this);
+  } else if (config_.pipeline) {
+    scheduler_ = make_scheduler(config_.policy, *config_.pipeline, *this);
+  } else {
+    scheduler_ = make_scheduler(config_.policy, *this, config_.placement,
+                                config_.backfill, config_.discipline);
+  }
   queue_length_.start(0.0, 0.0);
   cluster_busy_.resize(system_.num_clusters());
   for (auto& stat : cluster_busy_) stat.start(0.0, 0.0);

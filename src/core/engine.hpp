@@ -13,13 +13,16 @@
 // statistics.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/multicluster.hpp"
 #include "core/job_pool.hpp"
-#include "core/scheduler_factory.hpp"
+#include "policy/pipeline.hpp"
+#include "policy/scheduler_factory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "sim/simulator.hpp"
@@ -48,10 +51,19 @@ struct SimulationConfig {
   /// points and runner threads all reference one loaded trace.
   std::shared_ptr<const TraceWorkloadConfig> trace_workload;
   PlacementRule placement = PlacementRule::kWorstFit;
-  /// Extension (paper: kNone). GS/SC only.
+  /// Extension (paper: kNone). Single-global-queue structures only.
   BackfillMode backfill = BackfillMode::kNone;
-  /// Extension (paper: kFcfs). GS/SC only.
+  /// Extension (paper: kFcfs).
   QueueDiscipline discipline = QueueDiscipline::kFcfs;
+  /// Explicit pipeline composition (policy/pipeline.hpp). When set it takes
+  /// precedence over the placement/backfill/discipline knobs above; `policy`
+  /// then only seeds the display name and the SC layout checks. Unset =
+  /// the canonical expansion of `policy` with those knobs.
+  std::optional<PipelineSpec> pipeline;
+  /// Test seam: when set, the engine builds its scheduler from this factory
+  /// instead of `policy`/`pipeline` (the stage-equivalence tests inject
+  /// reference copies of the historical policy classes).
+  std::function<std::unique_ptr<Scheduler>(SchedulerContext&)> scheduler_factory;
   std::uint64_t seed = 1;
   /// Number of arrivals to generate.
   std::uint64_t total_jobs = 50000;

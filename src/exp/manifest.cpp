@@ -1,8 +1,8 @@
 #include "exp/manifest.hpp"
 
 #include "cluster/placement.hpp"
-#include "core/scheduler.hpp"
-#include "core/scheduler_factory.hpp"
+#include "policy/scheduler.hpp"
+#include "policy/scheduler_factory.hpp"
 #include "exp/scenario_spec.hpp"
 #include "obs/json.hpp"
 #include "workload/request.hpp"
@@ -43,6 +43,12 @@ void write_config(obs::JsonWriter& json, const SimulationConfig& config) {
   json.key("placement").value(placement_rule_name(config.placement));
   json.key("backfill").value(backfill_mode_name(config.backfill));
   json.key("discipline").value(queue_discipline_name(config.discipline));
+  // Explicit-pipeline runs record their structural stages; alias-only runs
+  // omit them, keeping pre-pipeline manifests byte-identical.
+  if (config.pipeline) {
+    json.key("queue").value(queue_structure_name(config.pipeline->structure));
+    json.key("coallocation").value(coallocation_rule_name(config.pipeline->coallocation));
+  }
   json.key("seed").value(config.seed);
   json.key("total_jobs").value(config.total_jobs);
   json.key("warmup_fraction").value(config.warmup_fraction);

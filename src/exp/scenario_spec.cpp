@@ -1,5 +1,6 @@
 #include "exp/scenario_spec.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <ostream>
 
@@ -11,6 +12,7 @@
 #include "util/assert.hpp"
 #include "util/strings.hpp"
 #include "workload/das_workload.hpp"
+#include "workload/job_splitter.hpp"
 #include "workload/trace_workload.hpp"
 
 namespace mcsim::exp {
@@ -38,13 +40,15 @@ RunMode parse_run_mode(const std::string& name) {
 
 namespace {
 
-// "none"/"aggressive"/"easy" — backfill_mode_name(kNone) prints "fcfs",
-// which is ambiguous with the discipline key in a scenario file.
+// "none"/"aggressive"/"easy"/"conservative" — backfill_mode_name(kNone)
+// prints "fcfs", which is ambiguous with the discipline key in a scenario
+// file.
 const char* backfill_json_name(BackfillMode mode) {
   switch (mode) {
     case BackfillMode::kNone: return "none";
     case BackfillMode::kAggressive: return "aggressive";
     case BackfillMode::kEasy: return "easy";
+    case BackfillMode::kConservative: return "conservative";
   }
   return "?";
 }
@@ -96,6 +100,10 @@ WorkloadConfig make_workload(const ScenarioSpec& spec, std::size_t num_clusters)
 std::string ScenarioSpec::label() const {
   if (!name.empty()) return name;
   std::string label = paper_scenario().label();
+  if (queue_structure) {
+    label += std::string(" ") + queue_structure_short_name(*queue_structure);
+  }
+  if (coallocation) label += " " + coallocation_rule_name(*coallocation);
   if (backfill != BackfillMode::kNone) {
     label += std::string(" ") + backfill_mode_name(backfill);
   }
@@ -103,6 +111,13 @@ std::string ScenarioSpec::label() const {
     label += std::string(" ") + queue_discipline_name(discipline);
   }
   return label;
+}
+
+PipelineSpec ScenarioSpec::pipeline() const {
+  PipelineSpec spec = expand_policy(policy, placement, backfill, discipline);
+  if (queue_structure) spec.structure = *queue_structure;
+  if (coallocation) spec.coallocation = *coallocation;
+  return spec;
 }
 
 PaperScenario ScenarioSpec::paper_scenario() const {
@@ -171,12 +186,57 @@ void validate(const ScenarioSpec& spec) {
   for (double speed : spec.cluster_speeds) {
     MCSIM_REQUIRE(speed > 0.0, "scenario: cluster speeds must be positive");
   }
-  const bool single_queue =
-      spec.policy == PolicyKind::kGS || spec.policy == PolicyKind::kSC;
-  MCSIM_REQUIRE(spec.backfill == BackfillMode::kNone || single_queue,
-                "scenario: backfilling applies to the single-queue policies (GS, SC)");
-  MCSIM_REQUIRE(spec.discipline == QueueDiscipline::kFcfs || single_queue,
-                "scenario: queue disciplines apply to the single-queue policies (GS, SC)");
+  // Stage compatibility is the pipeline's own rule set: backfilling needs
+  // the single global queue (so LS/LP reject it unless the structure is
+  // overridden), a component limit must be >= 1, and so on. Keep the legacy
+  // wording for the common case — a policy alias with no overrides asking
+  // for backfill — so existing error-message contracts hold.
+  const PipelineSpec pipeline = spec.pipeline();
+  if (!spec.queue_structure &&
+      pipeline.structure != QueueStructure::kSingleGlobal) {
+    MCSIM_REQUIRE(spec.backfill == BackfillMode::kNone,
+                  "scenario: backfilling applies to the single-queue policies (GS, SC)");
+  }
+  validate_pipeline(pipeline);
+  if (pipeline.coallocation.kind == CoAllocationRule::Kind::kComponentLimit &&
+      !spec.is_trace()) {
+    // Feasibility: jobs split into more components than the limit must fit
+    // whole on one cluster, or they can never start and the run stalls.
+    const std::uint32_t max_components = std::min(
+        spec.component_limit, static_cast<std::uint32_t>(layout.size()));
+    if (pipeline.coallocation.component_limit < max_components) {
+      const std::uint32_t max_total = spec.size_model == "das-s-64" ? 64u : 128u;
+      const std::uint32_t biggest = *std::max_element(layout.begin(), layout.end());
+      MCSIM_REQUIRE(max_total <= biggest,
+                    "scenario: coallocation limit-" +
+                        std::to_string(pipeline.coallocation.component_limit) +
+                        " forces jobs of up to " + std::to_string(max_total) +
+                        " processors whole onto one cluster, but the largest "
+                        "cluster has " + std::to_string(biggest));
+    }
+  }
+  if (!spec.is_trace()) {
+    // Split feasibility: the canonical split of the largest synthetic job
+    // must be placeable on an *empty* system — the i-th largest component
+    // on the i-th largest cluster (components go to distinct clusters).
+    // Otherwise that job can never start and permanently stalls the run at
+    // any load (e.g. das-s-128 with limit 16 on 64/32/16/16 splits 128
+    // into 32+32+32+32, and the 16-processor clusters never fit a 32).
+    const std::uint32_t max_total = spec.size_model == "das-s-64" ? 64u : 128u;
+    const std::vector<std::uint32_t> components = split_job(
+        max_total, spec.component_limit, static_cast<std::uint32_t>(layout.size()));
+    std::vector<std::uint32_t> capacities(layout.begin(), layout.end());
+    std::sort(capacities.rbegin(), capacities.rend());
+    for (std::size_t i = 0; i < components.size(); ++i) {
+      MCSIM_REQUIRE(components[i] <= capacities[i],
+                    "scenario: the largest job (" + std::to_string(max_total) +
+                        " processors) splits into a " +
+                        std::to_string(components[i]) +
+                        "-processor component that no remaining cluster can "
+                        "hold even when idle — it would stall the run at any "
+                        "load (raise component_limit or the cluster sizes)");
+    }
+  }
   MCSIM_REQUIRE(spec.warmup_fraction >= 0.0 && spec.warmup_fraction < 1.0,
                 "scenario: warmup_fraction must be in [0,1)");
   MCSIM_REQUIRE(spec.batch_count > 0, "scenario: batch_count must be positive");
@@ -302,6 +362,10 @@ SimulationConfig to_simulation_config(const ScenarioSpec& spec, double utilizati
   config.placement = spec.placement;
   config.backfill = spec.backfill;
   config.discipline = spec.discipline;
+  // Only an overridden composition goes through the explicit-pipeline path;
+  // plain policy aliases keep the legacy construction (and so the legacy
+  // display names) bit-for-bit.
+  if (spec.has_pipeline_override()) config.pipeline = spec.pipeline();
   config.seed = spec.seed;
   config.warmup_fraction = spec.warmup_fraction;
   config.batch_count = spec.batch_count;
@@ -380,6 +444,19 @@ void write_scenario_json(obs::JsonWriter& json, const ScenarioSpec& spec) {
   json.key("placement").value(placement_rule_name(spec.placement));
   json.key("backfill").value(backfill_json_name(spec.backfill));
   json.key("discipline").value(queue_discipline_name(spec.discipline));
+  // The pipeline object is emitted only for overridden compositions, so
+  // alias-only scenario files and manifests stay byte-identical to what
+  // pre-pipeline versions wrote.
+  if (spec.has_pipeline_override()) {
+    json.key("pipeline").begin_object();
+    if (spec.queue_structure) {
+      json.key("queue").value(queue_structure_name(*spec.queue_structure));
+    }
+    if (spec.coallocation) {
+      json.key("coallocation").value(coallocation_rule_name(*spec.coallocation));
+    }
+    json.end_object();
+  }
   json.end_object();
 
   json.key("run").begin_object();
@@ -486,6 +563,28 @@ void read_workload(const obs::JsonValue& value, ScenarioSpec& spec) {
                 "scenario: workload has a trace path but type \"synthetic\"");
 }
 
+// `policy.pipeline`: the explicit four-stage composition. The queue and
+// coallocation keys are structural overrides; discipline/backfill/placement
+// name the same stages as the policy-level keys and simply assign them, so
+// a file may spell the whole pipeline in one object.
+void read_pipeline(const obs::JsonValue& value, ScenarioSpec& spec) {
+  for (const auto& [key, v] : value.members()) {
+    if (key == "queue") {
+      spec.queue_structure = parse_queue_structure(v.as_string());
+    } else if (key == "coallocation") {
+      spec.coallocation = parse_coallocation_rule(v.as_string());
+    } else if (key == "discipline") {
+      spec.discipline = parse_queue_discipline(v.as_string());
+    } else if (key == "backfill") {
+      spec.backfill = parse_backfill_mode(v.as_string());
+    } else if (key == "placement") {
+      spec.placement = parse_placement_rule(v.as_string());
+    } else {
+      MCSIM_REQUIRE(false, "scenario: unknown pipeline key \"" + key + "\"");
+    }
+  }
+}
+
 void read_policy(const obs::JsonValue& value, ScenarioSpec& spec) {
   for (const auto& [key, v] : value.members()) {
     if (key == "kind") {
@@ -496,6 +595,8 @@ void read_policy(const obs::JsonValue& value, ScenarioSpec& spec) {
       spec.backfill = parse_backfill_mode(v.as_string());
     } else if (key == "discipline") {
       spec.discipline = parse_queue_discipline(v.as_string());
+    } else if (key == "pipeline") {
+      read_pipeline(v, spec);
     } else {
       MCSIM_REQUIRE(false, "scenario: unknown policy key \"" + key + "\"");
     }

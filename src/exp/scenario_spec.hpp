@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -96,12 +97,21 @@ struct ScenarioSpec {
   bool trace_whole_file = false;
 
   // -- policy -----------------------------------------------------------
+  /// The policy alias: names the canonical pipeline composition this spec
+  /// starts from (docs/SCHEDULING.md). The knobs below tune its stages;
+  /// queue_structure/coallocation override the structural stages outright.
   PolicyKind policy = PolicyKind::kGS;
   PlacementRule placement = PlacementRule::kWorstFit;
-  /// Extension (paper: kNone). GS/SC only.
+  /// Extension (paper: kNone). Needs the single-global-queue structure.
   BackfillMode backfill = BackfillMode::kNone;
-  /// Extension (paper: kFcfs). GS/SC only.
+  /// Extension (paper: kFcfs). Composes with every queue structure.
   QueueDiscipline discipline = QueueDiscipline::kFcfs;
+  /// Pipeline override: replace the policy's canonical queue structure
+  /// (`policy.pipeline.queue` in scenario JSON). Unset = the expansion.
+  std::optional<QueueStructure> queue_structure;
+  /// Pipeline override: replace the policy's canonical co-allocation rule
+  /// (`policy.pipeline.coallocation`). Unset = the expansion.
+  std::optional<CoAllocationRule> coallocation;
 
   // -- run --------------------------------------------------------------
   RunMode mode = RunMode::kPoint;
@@ -128,6 +138,17 @@ struct ScenarioSpec {
   /// True when this spec replays a recorded trace instead of drawing the
   /// synthetic workload.
   [[nodiscard]] bool is_trace() const { return !trace_path.empty(); }
+
+  /// The full pipeline composition this spec describes: the policy's
+  /// canonical expansion with the tuning knobs applied, then the
+  /// queue_structure/coallocation overrides.
+  [[nodiscard]] PipelineSpec pipeline() const;
+
+  /// Whether the spec overrides a structural stage of the policy's
+  /// canonical expansion (and so needs the pipeline JSON object).
+  [[nodiscard]] bool has_pipeline_override() const {
+    return queue_structure.has_value() || coallocation.has_value();
+  }
 
   [[nodiscard]] std::string label() const;
 

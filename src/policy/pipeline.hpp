@@ -1,0 +1,99 @@
+// The composable scheduling pipeline (docs/SCHEDULING.md).
+//
+// The paper's four policies (GS, LS, LP, SC — Sect. 2.5) are points in a
+// larger space spanned by four orthogonal stages:
+//
+//   queue structure   one global queue | per-cluster queues | locals + global
+//   queue stage       service order within each queue (QueueDiscipline)
+//   backfill stage    none | aggressive | EASY | conservative
+//   placement stage   WF | FF | BF | load-aware (cluster/placement.hpp)
+//   co-allocation     unrestricted [co] | local-only [no-co] | component-limit L
+//
+// A PipelineSpec names one composition; expand_policy() maps each paper
+// policy to its canonical composition (the aliases the scenario schema
+// keeps accepting), and the factory builds one ComposedScheduler for any
+// valid spec. GS/LS/LP/SC are pinned bit-exact against the sealed golden
+// corpus as compositions (tests/policy_equivalence_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "cluster/placement.hpp"
+#include "policy/scheduler.hpp"
+#include "policy/scheduler_factory.hpp"
+
+namespace mcsim {
+
+/// How arriving jobs are organised into queues.
+enum class QueueStructure : std::uint8_t {
+  kSingleGlobal,     // one queue for every job (GS, SC)
+  kPerCluster,       // one queue per cluster, rotating visits (LS)
+  kLocalPlusGlobal,  // local queues + a global queue for wide jobs (LP)
+};
+
+const char* queue_structure_name(QueueStructure structure);
+/// Short tag used in derived scheduler display names ("1q", "pc", "lg").
+const char* queue_structure_short_name(QueueStructure structure);
+/// Parse a queue-structure name ("single", "per-cluster", "local-global";
+/// case-insensitive). Throws std::invalid_argument otherwise.
+QueueStructure parse_queue_structure(const std::string& name);
+
+/// Which clusters a job may be served from.
+struct CoAllocationRule {
+  enum class Kind : std::uint8_t {
+    kUnrestricted,    // "co": any job may span clusters (GS, SC)
+    kLocalOnly,       // "no-co": single-component jobs stay on their origin
+                      // cluster; multi-component jobs co-allocate (LS, LP)
+    kComponentLimit,  // "limit-L": jobs with more than L components are not
+                      // co-allocated — they must fit whole on one cluster
+  };
+  Kind kind = Kind::kUnrestricted;
+  /// Maximum number of co-allocated components (kComponentLimit only).
+  std::uint32_t component_limit = 0;
+
+  bool operator==(const CoAllocationRule&) const = default;
+};
+
+/// "co", "no-co", or "limit-<L>".
+std::string coallocation_rule_name(const CoAllocationRule& rule);
+/// Parse a co-allocation rule ("co"/"unrestricted", "no-co"/"local-only",
+/// "limit-<L>"; case-insensitive). Throws std::invalid_argument otherwise.
+CoAllocationRule parse_coallocation_rule(const std::string& name);
+
+/// One point in the composition space. Default-constructed this is the
+/// canonical GS pipeline.
+struct PipelineSpec {
+  QueueStructure structure = QueueStructure::kSingleGlobal;
+  QueueDiscipline discipline = QueueDiscipline::kFcfs;
+  BackfillMode backfill = BackfillMode::kNone;
+  PlacementRule placement = PlacementRule::kWorstFit;
+  CoAllocationRule coallocation;
+
+  bool operator==(const PipelineSpec&) const = default;
+};
+
+/// The canonical composition of a paper policy: GS/SC = single global queue
+/// with unrestricted co-allocation, LS = per-cluster queues with local-only
+/// co-allocation, LP = locals + global with local-only co-allocation. The
+/// three tuning knobs carry over unchanged.
+PipelineSpec expand_policy(PolicyKind kind,
+                           PlacementRule placement = PlacementRule::kWorstFit,
+                           BackfillMode backfill = BackfillMode::kNone,
+                           QueueDiscipline discipline = QueueDiscipline::kFcfs);
+
+/// Check a composition for internal consistency. Backfilling needs the one
+/// global queue (the reservation reasons about the whole system's future
+/// idle capacity; per-cluster structures reject deterministically), and a
+/// component limit must allow at least one co-allocated component. Throws
+/// std::invalid_argument naming the offending stage.
+void validate_pipeline(const PipelineSpec& pipeline);
+
+/// The display name a scheduler built from (kind, pipeline) reports: the
+/// policy alias for the structural part when it matches the kind's canonical
+/// expansion ("GS", "LS", ...), otherwise "<structure>/<coallocation>"
+/// (e.g. "pc/co"); then "+<backfill>" when backfilling, "+<discipline>"
+/// when not FCFS, and "+<placement>" when not WF — so the legacy names
+/// ("GS", "GS+easy-bf+sjf") are reproduced exactly.
+std::string scheduler_display_name(PolicyKind kind, const PipelineSpec& pipeline);
+
+}  // namespace mcsim

@@ -1,4 +1,4 @@
-#include "core/queue.hpp"
+#include "policy/queue.hpp"
 
 #include "util/assert.hpp"
 

@@ -1,0 +1,100 @@
+#include "policy/reservation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+void ReservationTracker::prune(double now) {
+  std::erase_if(running_, [now](const RunningJob& r) { return r.end_time <= now; });
+}
+
+std::pair<double, std::uint32_t> ReservationTracker::head_reservation(
+    std::uint32_t idle, std::uint32_t needed) const {
+  MCSIM_ASSERT(idle < needed || !running_.empty());
+  // Identical to the historical PolicyGS implementation (the EASY goldens
+  // are sealed on its exact accumulation order): sort a copy by end time
+  // and accumulate returning processors until the head fits.
+  std::vector<RunningJob> by_end = running_;
+  std::sort(by_end.begin(), by_end.end(),
+            [](const RunningJob& a, const RunningJob& b) { return a.end_time < b.end_time; });
+  for (const RunningJob& job : by_end) {
+    idle += job.processors;
+    if (idle >= needed) {
+      return {job.end_time, idle - needed};
+    }
+  }
+  // A head larger than the machine cannot happen (the workload is bounded),
+  // but guard against it so the scheduler degrades to plain FCFS.
+  return {std::numeric_limits<double>::infinity(), 0};
+}
+
+void AvailabilityProfile::reset(double now, std::uint32_t idle,
+                                const std::vector<ReservationTracker::RunningJob>& running) {
+  points_.clear();
+  points_.emplace_back(now, idle);
+  std::vector<std::pair<double, std::uint32_t>> ends;
+  ends.reserve(running.size());
+  for (const ReservationTracker::RunningJob& job : running) {
+    if (job.end_time <= now) {
+      // Already completed (the departure releasing it is being processed);
+      // its processors are part of the free count from now on.
+      points_.front().second += job.processors;
+    } else {
+      ends.emplace_back(job.end_time, job.processors);
+    }
+  }
+  // Sorting pairs (time, processors) merges ties deterministically whatever
+  // order the ledger listed them in.
+  std::sort(ends.begin(), ends.end());
+  for (const auto& [time, processors] : ends) {
+    if (points_.back().first == time) {
+      points_.back().second += processors;
+    } else {
+      points_.emplace_back(time, points_.back().second + processors);
+    }
+  }
+}
+
+double AvailabilityProfile::earliest_fit(std::uint32_t size, double duration) const {
+  // Free counts only change at breakpoints, so the earliest feasible start
+  // is at one. The profile ends at full capacity (every running job and
+  // reservation expires), so any job that fits the machine finds a slot.
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].second < size) continue;
+    const double end = points_[i].first + duration;
+    bool fits = true;
+    for (std::size_t j = i + 1; j < points_.size(); ++j) {
+      if (points_[j].first >= end) break;
+      if (points_[j].second < size) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) return points_[i].first;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+void AvailabilityProfile::reserve(double start, double duration, std::uint32_t size) {
+  MCSIM_ASSERT(!points_.empty());
+  const double end = start + duration;
+  const auto insert_point = [this](double time) {
+    if (time <= points_.front().first) return;
+    auto it = points_.begin();
+    while (it != points_.end() && it->first < time) ++it;
+    if (it != points_.end() && it->first == time) return;
+    const std::uint32_t free_before = std::prev(it)->second;
+    points_.insert(it, {time, free_before});
+  };
+  insert_point(start);
+  insert_point(end);
+  for (auto& [time, free] : points_) {
+    if (time >= end) break;
+    if (time >= start) free = free >= size ? free - size : 0;
+  }
+}
+
+}  // namespace mcsim

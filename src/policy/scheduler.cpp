@@ -1,4 +1,4 @@
-#include "core/scheduler.hpp"
+#include "policy/scheduler.hpp"
 
 #include "util/assert.hpp"
 #include "util/strings.hpp"
@@ -10,6 +10,7 @@ const char* backfill_mode_name(BackfillMode mode) {
     case BackfillMode::kNone: return "fcfs";
     case BackfillMode::kAggressive: return "aggressive-bf";
     case BackfillMode::kEasy: return "easy-bf";
+    case BackfillMode::kConservative: return "conservative-bf";
   }
   return "?";
 }
@@ -21,8 +22,11 @@ BackfillMode parse_backfill_mode(const std::string& name) {
   if (lower == "none" || lower == "fcfs") return BackfillMode::kNone;
   if (lower == "aggressive" || lower == "aggressive-bf") return BackfillMode::kAggressive;
   if (lower == "easy" || lower == "easy-bf") return BackfillMode::kEasy;
+  if (lower == "conservative" || lower == "conservative-bf") {
+    return BackfillMode::kConservative;
+  }
   MCSIM_REQUIRE(false, "unknown backfill mode: " + name +
-                           " (expected none, aggressive, or easy)");
+                           " (expected none, aggressive, easy, or conservative)");
   return BackfillMode::kNone;
 }
 
@@ -90,8 +94,8 @@ std::optional<Allocation> Scheduler::try_place(Job& job) const {
       break;
     case RequestType::kUnordered:
     case RequestType::kTotal:
-      allocation =
-          place_components(job.spec.components, idle_scratch_, placement_, place_scratch_);
+      allocation = place_components(job.spec.components, idle_scratch_, capacities(),
+                                    placement_, place_scratch_);
       break;
   }
   context_.record_placement(job, allocation.has_value(), /*cluster=*/-1);
@@ -111,6 +115,40 @@ std::optional<Allocation> Scheduler::try_place_local(Job& job,
   context_.record_placement(job, allocation.has_value(),
                             static_cast<std::int16_t>(cluster));
   return allocation;
+}
+
+std::optional<Allocation> Scheduler::try_place_whole(Job& job) const {
+  // The whole request on the most-idle cluster that holds it (ties toward
+  // the lower id — the same determinism rule as the placement functions).
+  const Multicluster& system = context_.system();
+  const std::uint32_t total = job.spec.total_size;
+  ClusterId best = static_cast<ClusterId>(system.num_clusters());
+  std::uint32_t best_idle = 0;
+  for (ClusterId c = 0; c < system.num_clusters(); ++c) {
+    const std::uint32_t idle = system.cluster(c).idle();
+    if (idle < total) continue;
+    if (best == system.num_clusters() || idle > best_idle) {
+      best = c;
+      best_idle = idle;
+    }
+  }
+  std::optional<Allocation> allocation;
+  if (best != system.num_clusters()) {
+    allocation = Allocation{ComponentPlacement{best, total}};
+  }
+  context_.record_placement(job, allocation.has_value(), /*cluster=*/-1);
+  return allocation;
+}
+
+const std::vector<std::uint32_t>& Scheduler::capacities() const {
+  if (capacity_cache_.empty()) {
+    const Multicluster& system = context_.system();
+    capacity_cache_.reserve(system.num_clusters());
+    for (ClusterId c = 0; c < system.num_clusters(); ++c) {
+      capacity_cache_.push_back(system.cluster(c).capacity());
+    }
+  }
+  return capacity_cache_;
 }
 
 }  // namespace mcsim

@@ -3,8 +3,9 @@
 // A Scheduler owns the queue structure of one policy. The engine feeds it
 // arrivals via submit() and notifies it of departures via on_departure();
 // the scheduler starts jobs through its SchedulerContext, which performs the
-// allocation and schedules the departure event. All policies use FCFS
-// within each queue.
+// allocation and schedules the departure event. The paper's policies use
+// FCFS within each queue; the pipeline's queue stage may reorder
+// (QueueDiscipline).
 #pragma once
 
 #include <cstdint>
@@ -14,24 +15,27 @@
 #include "cluster/multicluster.hpp"
 #include "cluster/placement.hpp"
 #include "core/job.hpp"
-#include "core/queue.hpp"
+#include "policy/queue.hpp"
 
 #include <optional>
 
 namespace mcsim {
 
-/// Backfilling mode for the single-queue policies (GS, SC) — an extension
-/// beyond the paper, which uses plain FCFS. LS's rotation already gives a
-/// C-wide backfilling window (Sect. 3.1.1); these modes give SC/GS one too.
+/// Backfilling stage for the single-global-queue structure (GS, SC) — an
+/// extension beyond the paper, which uses plain FCFS. LS's rotation already
+/// gives a C-wide backfilling window (Sect. 3.1.1); these modes give the
+/// single queue one too.
 enum class BackfillMode : std::uint8_t {
-  kNone,        // paper: strict FCFS, head-of-line blocking
-  kAggressive,  // start any queued job that fits (no reservation; may starve)
-  kEasy         // EASY: backfill only if the head job's reservation holds
+  kNone,         // paper: strict FCFS, head-of-line blocking
+  kAggressive,   // start any queued job that fits (no reservation; may starve)
+  kEasy,         // EASY: backfill only if the head job's reservation holds
+  kConservative  // every queued job holds a reservation no backfill may delay
 };
 
 const char* backfill_mode_name(BackfillMode mode);
 /// Parse a backfill-mode name ("none"/"fcfs", "aggressive[-bf]",
-/// "easy[-bf]"; case-insensitive). Throws std::invalid_argument otherwise.
+/// "easy[-bf]", "conservative[-bf]"; case-insensitive). Throws
+/// std::invalid_argument otherwise.
 BackfillMode parse_backfill_mode(const std::string& name);
 
 /// Service order within the global queue (extension; the paper is FCFS).
@@ -110,16 +114,26 @@ class Scheduler {
   [[nodiscard]] std::optional<Allocation> try_place_local(Job& job,
                                                           ClusterId cluster) const;
 
+  /// Placement of the job's full size on one cluster (the most idle that
+  /// fits, ties toward the lower id) — the component-limit co-allocation
+  /// rule's fallback for jobs it refuses to spread.
+  [[nodiscard]] std::optional<Allocation> try_place_whole(Job& job) const;
+
   SchedulerContext& context_;
   PlacementRule placement_;
 
  private:
+  /// Cluster capacities, cached on first use (the system's layout is fixed
+  /// for a run); the load-aware placement rule orders by idle fraction.
+  [[nodiscard]] const std::vector<std::uint32_t>& capacities() const;
+
   /// Per-scheduler working memory for try_place/try_place_local: the idle
   /// snapshot and the placement sort/mark buffers. Mutable because a
   /// placement *attempt* is logically const — it observes the system and
   /// decides — while physically reusing these buffers keeps the attempt
   /// (and in particular every reject) off the allocator.
   mutable std::vector<std::uint32_t> idle_scratch_;
+  mutable std::vector<std::uint32_t> capacity_cache_;
   mutable PlacementScratch place_scratch_;
 };
 

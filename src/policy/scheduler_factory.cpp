@@ -1,8 +1,7 @@
-#include "core/scheduler_factory.hpp"
+#include "policy/scheduler_factory.hpp"
 
-#include "core/policy_gs.hpp"
-#include "core/policy_lp.hpp"
-#include "core/policy_ls.hpp"
+#include "policy/composed_scheduler.hpp"
+#include "policy/pipeline.hpp"
 #include "util/assert.hpp"
 #include "util/strings.hpp"
 
@@ -36,29 +35,18 @@ std::unique_ptr<Scheduler> make_scheduler(PolicyKind kind, SchedulerContext& con
   const bool single_queue = kind == PolicyKind::kGS || kind == PolicyKind::kSC;
   MCSIM_REQUIRE(backfill == BackfillMode::kNone || single_queue,
                 "backfilling is implemented for the single-queue policies (GS, SC)");
-  MCSIM_REQUIRE(discipline == QueueDiscipline::kFcfs || single_queue,
-                "queue disciplines are implemented for the single-queue policies (GS, SC)");
-  std::string name = policy_name(kind);
-  if (single_queue && backfill != BackfillMode::kNone) {
-    name += std::string("+") + backfill_mode_name(backfill);
+  return make_scheduler(kind, expand_policy(kind, placement, backfill, discipline),
+                        context);
+}
+
+std::unique_ptr<Scheduler> make_scheduler(PolicyKind kind, const PipelineSpec& pipeline,
+                                          SchedulerContext& context) {
+  if (is_single_cluster_policy(kind)) {
+    MCSIM_REQUIRE(context.system().num_clusters() == 1,
+                  "SC must run on a single-cluster system");
   }
-  if (single_queue && discipline != QueueDiscipline::kFcfs) {
-    name += std::string("+") + queue_discipline_name(discipline);
-  }
-  switch (kind) {
-    case PolicyKind::kGS:
-      return std::make_unique<PolicyGs>(context, placement, name, backfill, discipline);
-    case PolicyKind::kSC:
-      MCSIM_REQUIRE(context.system().num_clusters() == 1,
-                    "SC must run on a single-cluster system");
-      return std::make_unique<PolicyGs>(context, placement, name, backfill, discipline);
-    case PolicyKind::kLS:
-      return std::make_unique<PolicyLs>(context, placement);
-    case PolicyKind::kLP:
-      return std::make_unique<PolicyLp>(context, placement);
-  }
-  MCSIM_REQUIRE(false, "unknown policy kind");
-  return nullptr;
+  return std::make_unique<ComposedScheduler>(context, pipeline,
+                                             scheduler_display_name(kind, pipeline));
 }
 
 }  // namespace mcsim

@@ -150,6 +150,76 @@ TEST(PlacementRuleName, Names) {
   EXPECT_STREQ(placement_rule_name(PlacementRule::kWorstFit), "WF");
   EXPECT_STREQ(placement_rule_name(PlacementRule::kFirstFit), "FF");
   EXPECT_STREQ(placement_rule_name(PlacementRule::kBestFit), "BF");
+  EXPECT_STREQ(placement_rule_name(PlacementRule::kLoadAware), "LA");
+  EXPECT_EQ(parse_placement_rule("la"), PlacementRule::kLoadAware);
+  EXPECT_EQ(parse_placement_rule("load-aware"), PlacementRule::kLoadAware);
+}
+
+TEST(LoadAware, OrdersByIdleFractionNotAbsoluteIdle) {
+  // Cluster 0: 20/64 idle (5/16); cluster 1: 18/32 idle (9/16). WF picks
+  // cluster 0 (more idle processors); LA picks cluster 1 (higher idle
+  // fraction).
+  const std::vector<std::uint32_t> idle{20, 18};
+  const std::vector<std::uint32_t> capacities{64, 32};
+  PlacementScratch scratch;
+  const auto la =
+      place_components({10}, idle, capacities, PlacementRule::kLoadAware, scratch);
+  ASSERT_TRUE(la.has_value());
+  EXPECT_EQ((*la)[0].cluster, 1u);
+  const auto wf =
+      place_components({10}, idle, capacities, PlacementRule::kWorstFit, scratch);
+  ASSERT_TRUE(wf.has_value());
+  EXPECT_EQ((*wf)[0].cluster, 0u);
+}
+
+TEST(LoadAware, MatchesWorstFitOnHomogeneousCapacities) {
+  // Equal capacities make idle/capacity order identical to idle order, so
+  // LA and WF must make the same decisions.
+  const std::vector<std::uint32_t> capacities{32, 32, 32, 32};
+  PlacementScratch scratch;
+  Rng rng(707);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint32_t> idle(4);
+    for (auto& value : idle) value = static_cast<std::uint32_t>(rng.uniform_int(33));
+    std::vector<std::uint32_t> components;
+    const auto n = 1 + rng.uniform_int(3);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      components.push_back(1 + static_cast<std::uint32_t>(rng.uniform_int(24)));
+    }
+    std::sort(components.rbegin(), components.rend());
+    const auto la = place_components(components, idle, capacities,
+                                     PlacementRule::kLoadAware, scratch);
+    const auto wf = place_components(components, idle, capacities,
+                                     PlacementRule::kWorstFit, scratch);
+    ASSERT_EQ(la.has_value(), wf.has_value());
+    if (la) {
+      for (std::size_t i = 0; i < la->size(); ++i) {
+        EXPECT_EQ((*la)[i].cluster, (*wf)[i].cluster);
+        EXPECT_EQ((*la)[i].processors, (*wf)[i].processors);
+      }
+    }
+  }
+}
+
+TEST(LoadAware, FractionTieBreaksTowardLowerClusterId) {
+  // 16/32 and 32/64 are the same fraction; the lower id must win.
+  const std::vector<std::uint32_t> idle{32, 16};
+  const std::vector<std::uint32_t> capacities{64, 32};
+  PlacementScratch scratch;
+  const auto alloc =
+      place_components({8}, idle, capacities, PlacementRule::kLoadAware, scratch);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ((*alloc)[0].cluster, 0u);
+}
+
+TEST(LoadAware, RequiresTheCapacityAwareOverload) {
+  // Without capacities there is no idle fraction to order by.
+  EXPECT_THROW(place_components({8}, {32, 32}, PlacementRule::kLoadAware),
+               std::invalid_argument);
+  PlacementScratch scratch;
+  EXPECT_THROW(
+      place_components({8}, {32, 32}, PlacementRule::kLoadAware, scratch),
+      std::invalid_argument);
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "core/policy_gs.hpp"
-#include "core/scheduler_factory.hpp"
+#include "policy/composed_scheduler.hpp"
+#include "policy/scheduler_factory.hpp"
 #include "exp/scenario.hpp"
 #include "test_support.hpp"
 
@@ -9,17 +9,22 @@ namespace mcsim {
 namespace {
 
 using testing::FakeContext;
+using testing::make_policy;
 using testing::make_job;
 
 TEST(BackfillModeName, Names) {
   EXPECT_STREQ(backfill_mode_name(BackfillMode::kNone), "fcfs");
   EXPECT_STREQ(backfill_mode_name(BackfillMode::kAggressive), "aggressive-bf");
   EXPECT_STREQ(backfill_mode_name(BackfillMode::kEasy), "easy-bf");
+  EXPECT_STREQ(backfill_mode_name(BackfillMode::kConservative),
+               "conservative-bf");
 }
 
 TEST(AggressiveBackfill, StartsSmallJobsPastBlockedHead) {
   FakeContext ctx({128});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kAggressive);
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kAggressive);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {100}));
   policy.submit(make_job(2, {100}));  // blocked head (only 28 idle)
   policy.submit(make_job(3, {20}));   // backfills
@@ -33,7 +38,9 @@ TEST(AggressiveBackfill, StartsSmallJobsPastBlockedHead) {
 
 TEST(AggressiveBackfill, PreservesFifoAmongFittingJobs) {
   FakeContext ctx({128});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kAggressive);
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kAggressive);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {120}));
   policy.submit(make_job(2, {60}));  // blocked
   policy.submit(make_job(3, {4}));
@@ -45,7 +52,9 @@ TEST(AggressiveBackfill, PreservesFifoAmongFittingJobs) {
 
 TEST(EasyBackfill, BackfillsOnlyWhenReservationHolds) {
   FakeContext ctx({128});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kEasy);
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kEasy);
+  ComposedScheduler& policy = *policy_owner;
   // Job 1 runs for 100 s on 100 CPUs; head job 2 needs 100 CPUs and gets a
   // reservation at t = 100 with 28 CPUs spare then.
   policy.submit(make_job(1, {100}, 0, /*service=*/100.0));
@@ -65,7 +74,9 @@ TEST(EasyBackfill, BackfillsOnlyWhenReservationHolds) {
 
 TEST(EasyBackfill, LongJobWithinSpareBackfills) {
   FakeContext ctx({128});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kEasy);
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kEasy);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {100}, 0, 100.0));
   policy.submit(make_job(2, {100}, 0, 100.0));  // reservation at 100, spare 28
   policy.submit(make_job(3, {28}, 0, 10000.0)); // long but within spare
@@ -75,7 +86,9 @@ TEST(EasyBackfill, LongJobWithinSpareBackfills) {
 
 TEST(EasyBackfill, SpareShrinksAsLongJobsBackfill) {
   FakeContext ctx({128});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kEasy);
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kEasy);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {100}, 0, 100.0));
   policy.submit(make_job(2, {100}, 0, 100.0));   // spare 28 at t=100
   policy.submit(make_job(3, {20}, 0, 10000.0));  // takes 20 of the spare
@@ -88,7 +101,9 @@ TEST(EasyBackfill, SpareShrinksAsLongJobsBackfill) {
 
 TEST(EasyBackfill, HeadStartsExactlyAtReservation) {
   FakeContext ctx({128});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kEasy);
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kEasy);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {100}, 0, 100.0));
   policy.submit(make_job(2, {100}, 0, 100.0));
   policy.submit(make_job(3, {20}, 0, 50.0));  // backfilled
@@ -96,6 +111,58 @@ TEST(EasyBackfill, HeadStartsExactlyAtReservation) {
   ctx.finish(ctx.started[1], policy);  // job 3 at t=50
   EXPECT_EQ(ctx.started.size(), 2u);
   ctx.finish(ctx.started[0], policy);  // job 1 at t=100
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 2u);
+}
+
+TEST(ConservativeBackfill, FillerMustClearEveryReservation) {
+  FakeContext ctx({128});
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kConservative);
+  ComposedScheduler& policy = *policy_owner;
+  policy.submit(make_job(1, {100}, 0, 100.0));
+  policy.submit(make_job(2, {128}, 0, 100.0));  // head: reserved [100, 200)
+  // Job 3 fits the 28 idle CPUs right now, but its 150 s window crosses the
+  // head's whole-machine reservation — aggressive would start it,
+  // conservative must not.
+  policy.submit(make_job(3, {28}, 0, 150.0));
+  EXPECT_EQ(ctx.started.size(), 1u);
+  // Job 4 finishes at t=50, before the reservation: backfills.
+  policy.submit(make_job(4, {28}, 0, 50.0));
+  ASSERT_EQ(ctx.started.size(), 2u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 4u);
+  EXPECT_EQ(policy.queued_jobs(), 2u);
+}
+
+TEST(ConservativeBackfill, ProtectsIntermediateReservationsUnlikeEasy) {
+  FakeContext ctx({128});
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kConservative);
+  ComposedScheduler& policy = *policy_owner;
+  policy.submit(make_job(1, {64}, 0, 100.0));
+  policy.submit(make_job(2, {96}, 0, 100.0));   // head: reserved [100, 200)
+  policy.submit(make_job(3, {128}, 0, 300.0));  // reserved [200, 500)
+  // Job 4 stays within the head's 32-CPU spare — EASY would start it and
+  // push job 3 back indefinitely. Conservative holds job 3's slot.
+  policy.submit(make_job(4, {32}, 0, 250.0));
+  EXPECT_EQ(ctx.started.size(), 1u);
+  // A filler that drains before every reservation still goes through.
+  policy.submit(make_job(5, {32}, 0, 50.0));
+  ASSERT_EQ(ctx.started.size(), 2u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 5u);
+}
+
+TEST(ConservativeBackfill, HeadStartsWhenCapacityFrees) {
+  FakeContext ctx({128});
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kConservative);
+  ComposedScheduler& policy = *policy_owner;
+  policy.submit(make_job(1, {100}, 0, 100.0));
+  policy.submit(make_job(2, {128}, 0, 100.0));
+  policy.submit(make_job(3, {28}, 0, 50.0));  // backfilled
+  ctx.finish(ctx.started[1], policy);  // job 3 at t=50: head still blocked
+  EXPECT_EQ(ctx.started.size(), 2u);
+  ctx.finish(ctx.started[0], policy);  // job 1 at t=100: whole machine free
   ASSERT_EQ(ctx.started.size(), 3u);
   EXPECT_EQ(ctx.started[2]->spec.id, 2u);
 }
@@ -111,14 +178,23 @@ TEST(Backfill, FactoryNamesAndGuards) {
                            BackfillMode::kAggressive)
                 ->name(),
             "GS+aggressive-bf");
+  EXPECT_EQ(make_scheduler(PolicyKind::kSC, single, PlacementRule::kWorstFit,
+                           BackfillMode::kConservative)
+                ->name(),
+            "SC+conservative-bf");
   EXPECT_THROW(make_scheduler(PolicyKind::kLS, multi, PlacementRule::kWorstFit,
                               BackfillMode::kEasy),
+               std::invalid_argument);
+  EXPECT_THROW(make_scheduler(PolicyKind::kLP, multi, PlacementRule::kWorstFit,
+                              BackfillMode::kConservative),
                std::invalid_argument);
 }
 
 TEST(Backfill, MulticlusterAggressiveRespectsPlacement) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit, "GS", BackfillMode::kAggressive);
+  auto policy_owner = make_policy(PolicyKind::kGS, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kAggressive);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {32, 32, 32}));  // clusters 0,1,2
   policy.submit(make_job(2, {32, 32}));      // blocked: needs two clusters
   policy.submit(make_job(3, {16, 16}));      // needs two clusters too: blocked

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "core/policy_gs.hpp"
-#include "core/scheduler_factory.hpp"
+#include "policy/composed_scheduler.hpp"
+#include "policy/scheduler_factory.hpp"
 #include "exp/scenario.hpp"
 #include "test_support.hpp"
 
@@ -9,6 +9,7 @@ namespace mcsim {
 namespace {
 
 using testing::FakeContext;
+using testing::make_policy;
 using testing::make_job;
 
 TEST(QueueDiscipline, Names) {
@@ -66,8 +67,9 @@ TEST(JobQueueOrder, PolicyStartsEqualKeyJobsInSubmissionOrder) {
         QueueDiscipline::kLargestFirst}) {
     SCOPED_TRACE(queue_discipline_name(discipline));
     FakeContext ctx({128});
-    PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kNone,
-                    discipline);
+    auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                    BackfillMode::kNone, discipline);
+    ComposedScheduler& policy = *policy_owner;
     policy.submit(make_job(1, {128}, 0, 100.0));  // occupies everything
     for (std::uint64_t id = 2; id <= 5; ++id) {
       policy.submit(make_job(id, {16}, 0, 200.0));
@@ -89,8 +91,9 @@ TEST(JobQueueOrder, SetOrderOnNonEmptyQueueThrows) {
 
 TEST(SmallestFirst, ServesSmallJobsBeforeBigOnes) {
   FakeContext ctx({128});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kNone,
-                  QueueDiscipline::kSmallestFirst);
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kNone, QueueDiscipline::kSmallestFirst);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {128}));  // occupies everything
   policy.submit(make_job(2, {64}));
   policy.submit(make_job(3, {4}));
@@ -104,8 +107,9 @@ TEST(SmallestFirst, ServesSmallJobsBeforeBigOnes) {
 
 TEST(Sjf, ServesShortJobsFirst) {
   FakeContext ctx({128});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC", BackfillMode::kNone,
-                  QueueDiscipline::kShortestJobFirst);
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kNone, QueueDiscipline::kShortestJobFirst);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {128}, 0, 100.0));
   policy.submit(make_job(2, {8}, 0, 500.0));
   policy.submit(make_job(3, {8}, 0, 50.0));
@@ -121,10 +125,28 @@ TEST(Discipline, FactoryNamesAndGuards) {
                            BackfillMode::kNone, QueueDiscipline::kShortestJobFirst)
                 ->name(),
             "SC+sjf");
+  // Disciplines compose with every queue structure (the queue stage applies
+  // per queue) — LS+sjf is a valid composition, not an error.
   FakeContext multi({32, 32, 32, 32});
-  EXPECT_THROW(make_scheduler(PolicyKind::kLS, multi, PlacementRule::kWorstFit,
-                              BackfillMode::kNone, QueueDiscipline::kShortestJobFirst),
-               std::invalid_argument);
+  EXPECT_EQ(make_scheduler(PolicyKind::kLS, multi, PlacementRule::kWorstFit,
+                           BackfillMode::kNone, QueueDiscipline::kShortestJobFirst)
+                ->name(),
+            "LS+sjf");
+}
+
+TEST(Discipline, SjfReordersWithinLocalQueues) {
+  FakeContext ctx({32, 32});
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx, PlacementRule::kWorstFit,
+                                  BackfillMode::kNone,
+                                  QueueDiscipline::kShortestJobFirst);
+  ComposedScheduler& policy = *policy_owner;
+  policy.submit(make_job(1, {32}, 0, 100.0));  // fills cluster 0
+  policy.submit(make_job(2, {8}, 0, 500.0));
+  policy.submit(make_job(3, {8}, 0, 50.0));  // shorter: jumps ahead of job 2
+  ctx.finish(ctx.started[0], policy);
+  ASSERT_EQ(ctx.started.size(), 3u);
+  EXPECT_EQ(ctx.started[1]->spec.id, 3u);
+  EXPECT_EQ(ctx.started[2]->spec.id, 2u);
 }
 
 TEST(Discipline, SjfImprovesMeanResponseUnderLoad) {

@@ -1,4 +1,4 @@
-#include "core/scheduler_factory.hpp"
+#include "policy/scheduler_factory.hpp"
 
 #include <gtest/gtest.h>
 

@@ -7,8 +7,8 @@
 #include <stdexcept>
 
 #include "cluster/placement.hpp"
-#include "core/scheduler.hpp"
-#include "core/scheduler_factory.hpp"
+#include "policy/scheduler.hpp"
+#include "policy/scheduler_factory.hpp"
 #include "workload/request.hpp"
 
 namespace mcsim {
@@ -62,7 +62,13 @@ TEST(ParseNames, BackfillModeAcceptsShortForms) {
 }
 
 TEST(ParseNames, BackfillModeRejectsUnknown) {
-  EXPECT_THROW(parse_backfill_mode("conservative"), std::invalid_argument);
+  EXPECT_THROW(parse_backfill_mode("opportunistic"), std::invalid_argument);
+}
+
+TEST(ParseNames, ConservativeBackfillRoundTrip) {
+  EXPECT_EQ(parse_backfill_mode("conservative"), BackfillMode::kConservative);
+  EXPECT_EQ(parse_backfill_mode(backfill_mode_name(BackfillMode::kConservative)),
+            BackfillMode::kConservative);
 }
 
 TEST(ParseNames, QueueDisciplineRoundTrip) {

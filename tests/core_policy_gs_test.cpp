@@ -1,4 +1,4 @@
-#include "core/policy_gs.hpp"
+#include "policy/composed_scheduler.hpp"
 
 #include <gtest/gtest.h>
 
@@ -8,11 +8,13 @@ namespace mcsim {
 namespace {
 
 using testing::FakeContext;
+using testing::make_policy;
 using testing::make_job;
 
 TEST(PolicyGs, StartsJobImmediatelyWhenItFits) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kGS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {16, 16}));
   ASSERT_EQ(ctx.started.size(), 1u);
   EXPECT_EQ(policy.queued_jobs(), 0u);
@@ -20,7 +22,8 @@ TEST(PolicyGs, StartsJobImmediatelyWhenItFits) {
 
 TEST(PolicyGs, HeadOfLineBlocking) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kGS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   // Fill the system.
   policy.submit(make_job(1, {32, 32, 32, 32}));
   ASSERT_EQ(ctx.started.size(), 1u);
@@ -33,7 +36,8 @@ TEST(PolicyGs, HeadOfLineBlocking) {
 
 TEST(PolicyGs, DepartureUnblocksQueueInFifoOrder) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kGS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {32, 32, 32, 32}));
   policy.submit(make_job(2, {16, 16}));
   policy.submit(make_job(3, {8}));
@@ -45,14 +49,16 @@ TEST(PolicyGs, DepartureUnblocksQueueInFifoOrder) {
 
 TEST(PolicyGs, StartsMultipleFittingJobsOnOneEvent) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kGS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   for (std::uint64_t id = 1; id <= 4; ++id) policy.submit(make_job(id, {16}));
   EXPECT_EQ(ctx.started.size(), 4u);
 }
 
 TEST(PolicyGs, SingleComponentJobsPlacedByWorstFit) {
   FakeContext ctx({32, 32});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kGS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {10}));  // WF -> cluster 0 (tie, lower id)
   policy.submit(make_job(2, {10}));  // now cluster 1 has more idle
   ASSERT_EQ(ctx.started.size(), 2u);
@@ -62,7 +68,8 @@ TEST(PolicyGs, SingleComponentJobsPlacedByWorstFit) {
 
 TEST(PolicyGs, WorksAsSingleClusterSc) {
   FakeContext ctx({128});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit, "SC");
+  auto policy_owner = make_policy(PolicyKind::kSC, ctx);
+  ComposedScheduler& policy = *policy_owner;
   EXPECT_EQ(policy.name(), "SC");
   policy.submit(make_job(1, {128}));
   policy.submit(make_job(2, {1}));
@@ -73,7 +80,8 @@ TEST(PolicyGs, WorksAsSingleClusterSc) {
 
 TEST(PolicyGs, QueueLengthsReportSingleQueue) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kGS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {32, 32, 32, 32}));
   policy.submit(make_job(2, {1}));
   policy.submit(make_job(3, {1}));
@@ -83,7 +91,8 @@ TEST(PolicyGs, QueueLengthsReportSingleQueue) {
 
 TEST(PolicyGs, FcfsOrderPreservedAcrossPartialDrains) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyGs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kGS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {32, 32, 32, 32}));
   policy.submit(make_job(2, {32, 32, 32, 32}));
   policy.submit(make_job(3, {1}));

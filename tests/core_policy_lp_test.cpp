@@ -1,4 +1,4 @@
-#include "core/policy_lp.hpp"
+#include "policy/composed_scheduler.hpp"
 
 #include <gtest/gtest.h>
 
@@ -8,11 +8,13 @@ namespace mcsim {
 namespace {
 
 using testing::FakeContext;
+using testing::make_policy;
 using testing::make_job;
 
 TEST(PolicyLp, SingleComponentJobsGoToLocalQueues) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLP, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {8}, /*origin=*/3));
   ASSERT_EQ(ctx.started.size(), 1u);
   EXPECT_EQ(ctx.started[0]->allocation[0].cluster, 3u);
@@ -21,7 +23,8 @@ TEST(PolicyLp, SingleComponentJobsGoToLocalQueues) {
 
 TEST(PolicyLp, MultiComponentJobsGoToGlobalQueue) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLP, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {16, 16}, /*origin=*/0));
   ASSERT_EQ(ctx.started.size(), 1u);
   EXPECT_EQ(ctx.started[0]->queue_class, QueueClass::kGlobal);
@@ -29,7 +32,8 @@ TEST(PolicyLp, MultiComponentJobsGoToGlobalQueue) {
 
 TEST(PolicyLp, GlobalBlockedWhileNoLocalQueueEmpty) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLP, ctx);
+  ComposedScheduler& policy = *policy_owner;
   // Put one waiting job in every local queue by filling the clusters first.
   for (std::uint32_t c = 0; c < 4; ++c) policy.submit(make_job(c + 1, {32}, c));
   for (std::uint32_t c = 0; c < 4; ++c) policy.submit(make_job(10 + c, {4}, c));
@@ -43,7 +47,8 @@ TEST(PolicyLp, GlobalBlockedWhileNoLocalQueueEmpty) {
 
 TEST(PolicyLp, GlobalRunsWhenSomeLocalQueueIsEmpty) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLP, ctx);
+  ComposedScheduler& policy = *policy_owner;
   // All local queues empty: global job starts immediately.
   policy.submit(make_job(1, {8, 8}, 0));
   EXPECT_EQ(ctx.started.size(), 1u);
@@ -51,7 +56,8 @@ TEST(PolicyLp, GlobalRunsWhenSomeLocalQueueIsEmpty) {
 
 TEST(PolicyLp, GlobalEnabledWhenLocalQueueEmpties) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLP, ctx);
+  ComposedScheduler& policy = *policy_owner;
   // Fill all clusters; queue a local job everywhere; queue a global job.
   for (std::uint32_t c = 0; c < 4; ++c) policy.submit(make_job(c + 1, {32}, c));
   for (std::uint32_t c = 0; c < 4; ++c) policy.submit(make_job(10 + c, {8}, c));
@@ -73,7 +79,8 @@ TEST(PolicyLp, GlobalEnabledWhenLocalQueueEmpties) {
 
 TEST(PolicyLp, GlobalVisitedFirstAtDepartures) {
   FakeContext ctx({32, 32});
-  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLP, ctx);
+  ComposedScheduler& policy = *policy_owner;
   // Fill the system with one local job per cluster; keep queue 1 EMPTY so
   // the global queue keeps clearance, then race a global and a local job
   // for cluster 0's capacity.
@@ -96,7 +103,8 @@ TEST(PolicyLp, GlobalVisitedFirstAtDepartures) {
 
 TEST(PolicyLp, GlobalDisabledAfterMisfitUntilDeparture) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLP, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {32, 32, 32}, 0));   // occupies clusters 0,1,2
   policy.submit(make_job(2, {32, 32}, 0));       // global head: does not fit -> disabled
   EXPECT_EQ(ctx.started.size(), 1u);
@@ -113,7 +121,8 @@ TEST(PolicyLp, GlobalDisabledAfterMisfitUntilDeparture) {
 
 TEST(PolicyLp, LocalQueuesHavePriorityForTheirCluster) {
   FakeContext ctx({32, 32});
-  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLP, ctx);
+  ComposedScheduler& policy = *policy_owner;
   // Cluster 0 busy, local job waiting on it; global job wants cluster 0's
   // capacity as one of its components once free.
   policy.submit(make_job(1, {32}, 0));
@@ -131,7 +140,8 @@ TEST(PolicyLp, LocalQueuesHavePriorityForTheirCluster) {
 
 TEST(PolicyLp, QueueLengthsLocalsThenGlobal) {
   FakeContext ctx({8, 8});
-  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLP, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {8}, 0));
   policy.submit(make_job(2, {8}, 1));
   policy.submit(make_job(3, {4}, 0));   // waits locally
@@ -144,13 +154,15 @@ TEST(PolicyLp, QueueLengthsLocalsThenGlobal) {
 
 TEST(PolicyLp, InvalidOriginQueueThrows) {
   FakeContext ctx({8, 8});
-  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLP, ctx);
+  ComposedScheduler& policy = *policy_owner;
   EXPECT_THROW(policy.submit(make_job(1, {4}, 9)), std::invalid_argument);
 }
 
 TEST(PolicyLp, NameIsLp) {
   FakeContext ctx({8, 8});
-  PolicyLp policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLP, ctx);
+  ComposedScheduler& policy = *policy_owner;
   EXPECT_EQ(policy.name(), "LP");
 }
 

@@ -1,4 +1,4 @@
-#include "core/policy_ls.hpp"
+#include "policy/composed_scheduler.hpp"
 
 #include <gtest/gtest.h>
 
@@ -8,11 +8,13 @@ namespace mcsim {
 namespace {
 
 using testing::FakeContext;
+using testing::make_policy;
 using testing::make_job;
 
 TEST(PolicyLs, SingleComponentJobsRunOnlyOnLocalCluster) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   // Fill cluster 2 completely via a local job there.
   policy.submit(make_job(1, {32}, /*origin=*/2));
   ASSERT_EQ(ctx.started.size(), 1u);
@@ -25,7 +27,8 @@ TEST(PolicyLs, SingleComponentJobsRunOnlyOnLocalCluster) {
 
 TEST(PolicyLs, MultiComponentJobsSpreadOverAllClusters) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {16, 16, 16}, /*origin=*/0));
   ASSERT_EQ(ctx.started.size(), 1u);
   EXPECT_EQ(ctx.started[0]->allocation.size(), 3u);
@@ -35,7 +38,8 @@ TEST(PolicyLs, BackfillingAcrossQueues) {
   // The LS advantage (Sect. 3.1.1): a blocked queue does not stop jobs in
   // other queues from starting.
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {32}, 0));       // fills cluster 0
   policy.submit(make_job(2, {16}, 0));       // blocked: cluster 0 full
   policy.submit(make_job(3, {16}, 1));       // other queue: starts
@@ -48,7 +52,8 @@ TEST(PolicyLs, BackfillingAcrossQueues) {
 
 TEST(PolicyLs, DisabledQueueStaysBlockedUntilDeparture) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {32}, 0));
   policy.submit(make_job(2, {16}, 0));  // head does not fit -> queue 0 disabled
   // A job that WOULD fit arrives at disabled queue 0; it must wait (the
@@ -63,7 +68,8 @@ TEST(PolicyLs, DisabledQueueStaysBlockedUntilDeparture) {
 
 TEST(PolicyLs, FcfsWithinQueue) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {32}, 1));
   policy.submit(make_job(2, {10}, 1));
   policy.submit(make_job(3, {5}, 1));
@@ -77,7 +83,8 @@ TEST(PolicyLs, AtMostOneJobPerQueuePerRound) {
   // Two queues, each with two small jobs: the start order must interleave
   // (q0 job, q1 job, q0 job, q1 job), not drain one queue first.
   FakeContext ctx({32, 32});
-  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   // A multi-component job blocks the whole system while both queues fill.
   policy.submit(make_job(1, {32, 32}, 0));
   policy.submit(make_job(10, {4}, 0));
@@ -95,7 +102,8 @@ TEST(PolicyLs, AtMostOneJobPerQueuePerRound) {
 
 TEST(PolicyLs, ReenableOrderFollowsDisableOrder) {
   FakeContext ctx({8, 8});
-  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   // Block both clusters.
   policy.submit(make_job(1, {8}, 0));
   policy.submit(make_job(2, {8}, 1));
@@ -111,7 +119,8 @@ TEST(PolicyLs, ReenableOrderFollowsDisableOrder) {
 
 TEST(PolicyLs, MultiComponentHeadCanBlockLocalQueue) {
   FakeContext ctx({32, 32, 32, 32});
-  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {32, 32, 32}, 0));  // uses clusters 0,1,2
   policy.submit(make_job(2, {20, 20}, 1));      // needs two clusters with 20: only cluster 3 free
   EXPECT_EQ(ctx.started.size(), 1u);
@@ -122,7 +131,8 @@ TEST(PolicyLs, MultiComponentHeadCanBlockLocalQueue) {
 
 TEST(PolicyLs, QueueLengthsPerCluster) {
   FakeContext ctx({8, 8, 8, 8});
-  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   policy.submit(make_job(1, {8}, 0));
   policy.submit(make_job(2, {8}, 0));
   policy.submit(make_job(3, {8}, 2));
@@ -139,13 +149,15 @@ TEST(PolicyLs, QueueLengthsPerCluster) {
 
 TEST(PolicyLs, InvalidOriginQueueThrows) {
   FakeContext ctx({8, 8});
-  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   EXPECT_THROW(policy.submit(make_job(1, {4}, /*origin=*/7)), std::invalid_argument);
 }
 
 TEST(PolicyLs, NameIsLs) {
   FakeContext ctx({8, 8});
-  PolicyLs policy(ctx, PlacementRule::kWorstFit);
+  auto policy_owner = make_policy(PolicyKind::kLS, ctx);
+  ComposedScheduler& policy = *policy_owner;
   EXPECT_EQ(policy.name(), "LS");
 }
 

@@ -58,7 +58,9 @@ TEST(ScenarioSpecJson, DefaultSpecRoundTripsUnchanged) {
 TEST(ScenarioSpecJson, EveryFieldSurvivesTheRoundTrip) {
   exp::ScenarioSpec spec;
   spec.name = "full-house \"quoted\"";
-  spec.cluster_sizes = {16, 32, 48};
+  // Sizes chosen so the largest das-s-64 job's (22,21,21) split under
+  // limit 24 stays placeable (validate()'s split-feasibility rule).
+  spec.cluster_sizes = {24, 32, 48};
   spec.cluster_speeds = {1.0, 0.5, 2.0};
   spec.size_model = "das-s-64";
   spec.component_limit = 24;
@@ -135,9 +137,28 @@ TEST(ScenarioSpecValidate, RejectsInconsistentSpecs) {
     EXPECT_THROW(exp::validate(spec), std::invalid_argument);
   }
   {
+    // Disciplines compose with every structure now — LP+sjf is valid.
     exp::ScenarioSpec spec;
     spec.policy = PolicyKind::kLP;
     spec.discipline = QueueDiscipline::kShortestJobFirst;
+    EXPECT_NO_THROW(exp::validate(spec));
+  }
+  {
+    exp::ScenarioSpec spec;  // backfill × per-cluster queues cannot compose
+    spec.queue_structure = QueueStructure::kPerCluster;
+    spec.backfill = BackfillMode::kConservative;
+    EXPECT_THROW(exp::validate(spec), std::invalid_argument);
+  }
+  {
+    exp::ScenarioSpec spec;  // a component limit must allow >= 1 component
+    spec.coallocation = CoAllocationRule{CoAllocationRule::Kind::kComponentLimit, 0};
+    EXPECT_THROW(exp::validate(spec), std::invalid_argument);
+  }
+  {
+    // limit-2 on 4x32 with das-s-128: a 128-proc job split 3+ ways can
+    // neither co-allocate nor fit whole on a 32-proc cluster.
+    exp::ScenarioSpec spec;
+    spec.coallocation = CoAllocationRule{CoAllocationRule::Kind::kComponentLimit, 2};
     EXPECT_THROW(exp::validate(spec), std::invalid_argument);
   }
   {

@@ -1,0 +1,156 @@
+// Unit tests for the composition vocabulary (policy/pipeline.hpp): stage
+// name round trips, the alias expansion table, display names, and the
+// validation rules that reject incoherent compositions deterministically.
+#include "policy/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcsim {
+namespace {
+
+TEST(QueueStructureNames, RoundTrip) {
+  EXPECT_EQ(parse_queue_structure("single"), QueueStructure::kSingleGlobal);
+  EXPECT_EQ(parse_queue_structure("per-cluster"), QueueStructure::kPerCluster);
+  EXPECT_EQ(parse_queue_structure("local-global"),
+            QueueStructure::kLocalPlusGlobal);
+  // Case-insensitive.
+  EXPECT_EQ(parse_queue_structure("Per-Cluster"), QueueStructure::kPerCluster);
+  for (QueueStructure structure :
+       {QueueStructure::kSingleGlobal, QueueStructure::kPerCluster,
+        QueueStructure::kLocalPlusGlobal}) {
+    EXPECT_EQ(parse_queue_structure(queue_structure_name(structure)), structure);
+  }
+  EXPECT_THROW(parse_queue_structure("round-robin"), std::invalid_argument);
+}
+
+TEST(QueueStructureNames, ShortTags) {
+  EXPECT_STREQ(queue_structure_short_name(QueueStructure::kSingleGlobal), "1q");
+  EXPECT_STREQ(queue_structure_short_name(QueueStructure::kPerCluster), "pc");
+  EXPECT_STREQ(queue_structure_short_name(QueueStructure::kLocalPlusGlobal),
+               "lg");
+}
+
+TEST(CoAllocationNames, RoundTrip) {
+  EXPECT_EQ(parse_coallocation_rule("co").kind,
+            CoAllocationRule::Kind::kUnrestricted);
+  EXPECT_EQ(parse_coallocation_rule("unrestricted").kind,
+            CoAllocationRule::Kind::kUnrestricted);
+  EXPECT_EQ(parse_coallocation_rule("no-co").kind,
+            CoAllocationRule::Kind::kLocalOnly);
+  EXPECT_EQ(parse_coallocation_rule("local-only").kind,
+            CoAllocationRule::Kind::kLocalOnly);
+
+  const CoAllocationRule limited = parse_coallocation_rule("limit-3");
+  EXPECT_EQ(limited.kind, CoAllocationRule::Kind::kComponentLimit);
+  EXPECT_EQ(limited.component_limit, 3u);
+
+  for (const CoAllocationRule& rule :
+       {CoAllocationRule{CoAllocationRule::Kind::kUnrestricted, 0},
+        CoAllocationRule{CoAllocationRule::Kind::kLocalOnly, 0},
+        CoAllocationRule{CoAllocationRule::Kind::kComponentLimit, 2}}) {
+    EXPECT_EQ(parse_coallocation_rule(coallocation_rule_name(rule)), rule);
+  }
+
+  EXPECT_THROW(parse_coallocation_rule("sometimes"), std::invalid_argument);
+  EXPECT_THROW(parse_coallocation_rule("limit-"), std::invalid_argument);
+  EXPECT_THROW(parse_coallocation_rule("limit-x"), std::invalid_argument);
+}
+
+TEST(ExpandPolicy, CanonicalCompositions) {
+  const PipelineSpec gs = expand_policy(PolicyKind::kGS);
+  EXPECT_EQ(gs.structure, QueueStructure::kSingleGlobal);
+  EXPECT_EQ(gs.coallocation.kind, CoAllocationRule::Kind::kUnrestricted);
+
+  const PipelineSpec sc = expand_policy(PolicyKind::kSC);
+  EXPECT_EQ(sc.structure, QueueStructure::kSingleGlobal);
+  EXPECT_EQ(sc.coallocation.kind, CoAllocationRule::Kind::kUnrestricted);
+
+  const PipelineSpec ls = expand_policy(PolicyKind::kLS);
+  EXPECT_EQ(ls.structure, QueueStructure::kPerCluster);
+  EXPECT_EQ(ls.coallocation.kind, CoAllocationRule::Kind::kLocalOnly);
+
+  const PipelineSpec lp = expand_policy(PolicyKind::kLP);
+  EXPECT_EQ(lp.structure, QueueStructure::kLocalPlusGlobal);
+  EXPECT_EQ(lp.coallocation.kind, CoAllocationRule::Kind::kLocalOnly);
+}
+
+TEST(ExpandPolicy, TuningKnobsCarryOver) {
+  const PipelineSpec spec =
+      expand_policy(PolicyKind::kGS, PlacementRule::kFirstFit,
+                    BackfillMode::kEasy, QueueDiscipline::kShortestJobFirst);
+  EXPECT_EQ(spec.placement, PlacementRule::kFirstFit);
+  EXPECT_EQ(spec.backfill, BackfillMode::kEasy);
+  EXPECT_EQ(spec.discipline, QueueDiscipline::kShortestJobFirst);
+}
+
+TEST(ValidatePipeline, AcceptsCanonicalCompositions) {
+  for (PolicyKind kind :
+       {PolicyKind::kGS, PolicyKind::kLS, PolicyKind::kLP, PolicyKind::kSC}) {
+    EXPECT_NO_THROW(validate_pipeline(expand_policy(kind)));
+  }
+}
+
+TEST(ValidatePipeline, BackfillNeedsTheSingleGlobalQueue) {
+  // EASY backfilling reasons about the whole system's future idle capacity
+  // through one queue; per-cluster structures must reject deterministically.
+  for (QueueStructure structure :
+       {QueueStructure::kPerCluster, QueueStructure::kLocalPlusGlobal}) {
+    for (BackfillMode backfill :
+         {BackfillMode::kAggressive, BackfillMode::kEasy,
+          BackfillMode::kConservative}) {
+      PipelineSpec spec;
+      spec.structure = structure;
+      spec.backfill = backfill;
+      if (structure != QueueStructure::kSingleGlobal) {
+        spec.coallocation.kind = CoAllocationRule::Kind::kLocalOnly;
+      }
+      EXPECT_THROW(validate_pipeline(spec), std::invalid_argument);
+    }
+  }
+}
+
+TEST(ValidatePipeline, ComponentLimitMustAllowOneComponent) {
+  PipelineSpec spec;
+  spec.coallocation = CoAllocationRule{CoAllocationRule::Kind::kComponentLimit, 0};
+  EXPECT_THROW(validate_pipeline(spec), std::invalid_argument);
+  spec.coallocation.component_limit = 1;
+  EXPECT_NO_THROW(validate_pipeline(spec));
+}
+
+TEST(DisplayNames, CanonicalAliasesReproduceLegacyNames) {
+  EXPECT_EQ(scheduler_display_name(PolicyKind::kGS, expand_policy(PolicyKind::kGS)),
+            "GS");
+  EXPECT_EQ(scheduler_display_name(PolicyKind::kLS, expand_policy(PolicyKind::kLS)),
+            "LS");
+  EXPECT_EQ(scheduler_display_name(PolicyKind::kLP, expand_policy(PolicyKind::kLP)),
+            "LP");
+  EXPECT_EQ(scheduler_display_name(PolicyKind::kSC, expand_policy(PolicyKind::kSC)),
+            "SC");
+  EXPECT_EQ(scheduler_display_name(
+                PolicyKind::kGS,
+                expand_policy(PolicyKind::kGS, PlacementRule::kWorstFit,
+                              BackfillMode::kEasy,
+                              QueueDiscipline::kShortestJobFirst)),
+            "GS+easy-bf+sjf");
+  EXPECT_EQ(scheduler_display_name(
+                PolicyKind::kSC,
+                expand_policy(PolicyKind::kSC, PlacementRule::kWorstFit,
+                              BackfillMode::kEasy)),
+            "SC+easy-bf");
+}
+
+TEST(DisplayNames, OverriddenStructuresSpellTheComposition) {
+  PipelineSpec spec = expand_policy(PolicyKind::kGS);
+  spec.coallocation.kind = CoAllocationRule::Kind::kLocalOnly;
+  EXPECT_EQ(scheduler_display_name(PolicyKind::kGS, spec), "1q/no-co");
+
+  PipelineSpec limited = expand_policy(PolicyKind::kLS);
+  limited.coallocation =
+      CoAllocationRule{CoAllocationRule::Kind::kComponentLimit, 2};
+  EXPECT_EQ(scheduler_display_name(PolicyKind::kLS, limited), "pc/limit-2");
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -7,8 +7,12 @@
 #include <deque>
 #include <vector>
 
+#include <memory>
+
 #include "core/job.hpp"
-#include "core/scheduler.hpp"
+#include "policy/composed_scheduler.hpp"
+#include "policy/pipeline.hpp"
+#include "policy/scheduler.hpp"
 
 namespace mcsim::testing {
 
@@ -63,6 +67,20 @@ inline JobPtr make_job(std::uint64_t id, std::vector<std::uint32_t> components,
   static std::deque<Job> arena;
   arena.emplace_back(std::move(spec));
   return &arena.back();
+}
+
+/// A paper policy as its canonical pipeline composition — the successor to
+/// constructing the historical PolicyGs/PolicyLs/PolicyLp classes directly.
+/// Returns the concrete type so tests can reach diagnostics like
+/// global_queue_length().
+inline std::unique_ptr<ComposedScheduler> make_policy(
+    PolicyKind kind, SchedulerContext& context,
+    PlacementRule placement = PlacementRule::kWorstFit,
+    BackfillMode backfill = BackfillMode::kNone,
+    QueueDiscipline discipline = QueueDiscipline::kFcfs) {
+  const PipelineSpec pipeline = expand_policy(kind, placement, backfill, discipline);
+  return std::make_unique<ComposedScheduler>(context, pipeline,
+                                             scheduler_display_name(kind, pipeline));
 }
 
 }  // namespace mcsim::testing

@@ -82,10 +82,18 @@ void add_scenario_options(CliParser& parser) {
   parser.add_option("policy", "LS", "GS, LS, LP or SC");
   parser.add_option("limit", "16", "job-component-size limit (16, 24, 32, ...)");
   parser.add_option("extension", "1.25", "wide-area service-time extension factor");
-  parser.add_option("placement", "WF", "component placement rule: WF, FF or BF");
-  parser.add_option("backfill", "none", "GS/SC queue backfilling: none, aggressive, easy");
+  parser.add_option("placement", "WF", "component placement rule: WF, FF, BF or LA");
+  parser.add_option("backfill", "none",
+                    "single-queue backfilling: none, aggressive, easy, conservative");
   parser.add_option("discipline", "fcfs",
-                    "GS/SC queue order: fcfs, sjf, ljf, smallest-first, largest-first");
+                    "queue order: fcfs, sjf, ljf, smallest-first, largest-first");
+  parser.add_option("queue-discipline", "",
+                    "synonym for --discipline (takes precedence when both given)");
+  parser.add_option("queue", "",
+                    "pipeline override: queue structure (single, per-cluster, "
+                    "local-global)");
+  parser.add_option("coallocation", "",
+                    "pipeline override: co-allocation rule (co, no-co, limit-<L>)");
   parser.add_option("seed", "1", "master random seed");
   parser.add_option("emit-spec", "", "write these flags as a scenario file and exit");
   parser.add_flag("unbalanced", "one local queue gets 40% of local submissions");
@@ -101,6 +109,15 @@ exp::ScenarioSpec spec_from(const CliParser& parser) {
   spec.placement = parse_placement_rule(parser.get("placement"));
   spec.backfill = parse_backfill_mode(parser.get("backfill"));
   spec.discipline = parse_queue_discipline(parser.get("discipline"));
+  if (!parser.get("queue-discipline").empty()) {
+    spec.discipline = parse_queue_discipline(parser.get("queue-discipline"));
+  }
+  if (!parser.get("queue").empty()) {
+    spec.queue_structure = parse_queue_structure(parser.get("queue"));
+  }
+  if (!parser.get("coallocation").empty()) {
+    spec.coallocation = parse_coallocation_rule(parser.get("coallocation"));
+  }
   spec.balanced_queues = !parser.get_flag("unbalanced");
   spec.size_model = parser.get_flag("das64") ? "das-s-64" : "das-s-128";
   spec.seed = parser.get_uint("seed");
@@ -547,6 +564,14 @@ void add_run_options(CliParser& parser) {
   parser.add_option("trace-in", "",
                     "replay this SWF trace instead of the scenario's workload");
   parser.add_option("scale", "", "trace replay: override the arrival-time scale");
+  parser.add_option("backfill", "",
+                    "override the scenario's backfill mode (none, aggressive, "
+                    "easy, conservative)");
+  parser.add_option("discipline", "",
+                    "override the scenario's queue order (fcfs, sjf, ljf, "
+                    "smallest-first, largest-first)");
+  parser.add_option("queue-discipline", "",
+                    "synonym for --discipline (takes precedence when both given)");
 }
 
 void apply_run_overrides(const CliParser& parser, exp::ScenarioSpec* spec) {
@@ -556,6 +581,15 @@ void apply_run_overrides(const CliParser& parser, exp::ScenarioSpec* spec) {
   }
   if (!parser.get("trace-in").empty()) spec->trace_path = parser.get("trace-in");
   if (!parser.get("scale").empty()) spec->trace_scale = parser.get_double("scale");
+  if (!parser.get("backfill").empty()) {
+    spec->backfill = parse_backfill_mode(parser.get("backfill"));
+  }
+  if (!parser.get("discipline").empty()) {
+    spec->discipline = parse_queue_discipline(parser.get("discipline"));
+  }
+  if (!parser.get("queue-discipline").empty()) {
+    spec->discipline = parse_queue_discipline(parser.get("queue-discipline"));
+  }
 }
 
 int cmd_run(int argc, const char* const* argv) {
