@@ -43,13 +43,25 @@ class JobPool {
   JobPool(const JobPool&) = delete;
   JobPool& operator=(const JobPool&) = delete;
 
-  /// Hand out a job initialised from `spec` — recycled from the free list
-  /// when possible, otherwise bump-allocated from the current slab. The
-  /// returned pointer is stable until the pool is destroyed.
-  Job* acquire(JobSpec spec);
+  /// Sharding (parallel engine, docs/PARALLEL.md): split the free list
+  /// into `shards` independent LIFO lanes so each logical process can
+  /// recycle jobs through its own lane with no cross-LP traffic. Slab
+  /// growth stays pool-global (it only happens in serial phases). Must be
+  /// called before the first acquire; the default single shard is the
+  /// serial engine's exact historical LIFO behaviour.
+  void configure_shards(std::uint32_t shards);
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(free_.size());
+  }
 
-  /// Return a job to the free list. The caller must drop every handle: the
-  /// next acquire() may recycle the object for an unrelated arrival.
+  /// Hand out a job initialised from `spec` — recycled from `shard`'s free
+  /// lane when possible, otherwise bump-allocated from the current slab.
+  /// The returned pointer is stable until the pool is destroyed.
+  Job* acquire(JobSpec spec, std::uint32_t shard = 0);
+
+  /// Return a job to the free lane of the shard it was acquired from. The
+  /// caller must drop every handle: the next acquire() may recycle the
+  /// object for an unrelated arrival.
   void release(Job* job);
 
   /// Jobs currently acquired and not yet released.
@@ -68,7 +80,8 @@ class JobPool {
 
  private:
   std::vector<std::unique_ptr<Job[]>> slabs_;
-  std::vector<Job*> free_;
+  /// Per-shard free lanes; one lane until configure_shards says otherwise.
+  std::vector<std::vector<Job*>> free_{1};
   /// Next unused index in slabs_.back(); kSlabCapacity when a new slab is
   /// needed (or none exists yet).
   std::size_t next_in_slab_ = kSlabCapacity;

@@ -1,0 +1,76 @@
+#include "sim/channel.hpp"
+
+#include <utility>
+
+namespace mcsim {
+
+WorkerCrew::WorkerCrew(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
+  members_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i) {
+    members_.emplace_back([this] { member_main(); });
+  }
+}
+
+WorkerCrew::~WorkerCrew() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    quit_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& member : members_) member.join();
+}
+
+void WorkerCrew::claim_tasks(std::unique_lock<std::mutex>& lock) {
+  const std::function<void(std::size_t)>* job = job_;
+  while (next_ < count_) {
+    const std::size_t index = next_++;
+    ++in_flight_;
+    lock.unlock();
+    std::exception_ptr thrown;
+    try {
+      (*job)(index);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+    lock.lock();
+    if (thrown && !error_) error_ = thrown;
+    --in_flight_;
+    if (next_ >= count_ && in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkerCrew::member_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] { return quit_ || generation_ != seen; });
+    if (quit_) return;
+    seen = generation_;
+    claim_tasks(lock);
+  }
+}
+
+void WorkerCrew::run(std::size_t count, const std::function<void(std::size_t)>& job) {
+  if (count == 0) return;
+  if (members_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) job(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &job;
+  count_ = count;
+  next_ = 0;
+  in_flight_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  claim_tasks(lock);
+  done_cv_.wait(lock, [&] { return next_ >= count_ && in_flight_ == 0; });
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr thrown = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(thrown);
+  }
+}
+
+}  // namespace mcsim

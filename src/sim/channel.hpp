@@ -1,0 +1,70 @@
+/// \file
+/// \brief The barrier channel: worker crew synchronizing the parallel engine.
+///
+/// ParallelSimulator alternates between serial phases (the coordinator
+/// merges and dispatches a window) and barrier phases (per-LP calendar
+/// maintenance fans out across workers). WorkerCrew is that barrier: a
+/// fixed pool of threads that sits parked between windows, runs one
+/// indexed task per LP when the coordinator opens a barrier, and releases
+/// the coordinator only when every task has finished. The handoff is a
+/// plain mutex + condition-variable generation counter — the barrier runs
+/// a few times per thousand dispatched events, so lock-free cleverness
+/// would buy nothing and cost the TSan-provable simplicity the sanitizer
+/// gate relies on (docs/PARALLEL.md, "Threading model").
+///
+/// The calling thread participates in the work itself, so a crew of
+/// `threads` occupies exactly `threads` cores: `threads - 1` members plus
+/// the coordinator. With threads <= 1 no members are spawned and run()
+/// degenerates to an inline loop — the engine's worker-budget contract
+/// (`--jobs`, docs/PARALLEL.md) leans on this to keep `--engine=parallel`
+/// from oversubscribing a budget already spent on exp::Runner workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcsim {
+
+/// Barrier-synchronous task crew for ParallelSimulator.
+class WorkerCrew {
+ public:
+  /// `threads` is the total parallelism including the calling thread.
+  explicit WorkerCrew(unsigned threads);
+  ~WorkerCrew();
+  WorkerCrew(const WorkerCrew&) = delete;
+  WorkerCrew& operator=(const WorkerCrew&) = delete;
+
+  /// Total parallelism (members + caller); at least 1.
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Run job(i) once for every i in [0, count), spread across the crew and
+  /// the calling thread; returns when all have finished. The first
+  /// exception thrown by a task is rethrown here after the barrier closes.
+  void run(std::size_t count, const std::function<void(std::size_t)>& job);
+
+ private:
+  void member_main();
+  /// Claim-and-run loop shared by members and the caller; `lock` is held
+  /// on entry and exit, released around each task.
+  void claim_tasks(std::unique_lock<std::mutex>& lock);
+
+  unsigned threads_;
+  std::vector<std::thread> members_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;
+  std::size_t in_flight_ = 0;
+  std::uint64_t generation_ = 0;
+  bool quit_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,23 @@
+#include "sim/lookahead.hpp"
+
+#include <algorithm>
+
+namespace mcsim {
+
+HorizonController::HorizonController(double hint)
+    : hint_(hint > 0.0 ? hint : 0.0), horizon_(hint_) {}
+
+void HorizonController::on_window(std::size_t extracted, double span) {
+  if (extracted < kLowWatermark) {
+    // Window too thin: widen. span * 4 jumps straight past locally dense
+    // regions; the doubling term guarantees geometric progress even when
+    // every window so far was a single tie batch (span == 0).
+    horizon_ = std::max({horizon_ * 2.0, span * 4.0, hint_, kMinHorizon});
+  } else if (extracted > kHighWatermark) {
+    // Window too fat: halve, but never below the model-derived bound —
+    // inside the hint a window is always safe to batch.
+    horizon_ = std::max(hint_, horizon_ * 0.5);
+  }
+}
+
+}  // namespace mcsim

@@ -1,0 +1,59 @@
+/// \file
+/// \brief Conservative lookahead: window sizing for the parallel engine.
+///
+/// The parallel backend (ParallelSimulator) advances the run in
+/// barrier-synchronous windows: at each barrier it picks the earliest
+/// pending timestamp t_min and extracts every event with
+/// time <= t_min + horizon into per-LP dispatch windows. The horizon is
+/// the engine's conservative lookahead. Correctness never depends on its
+/// value — events scheduled mid-window at or below the cut line are
+/// routed through a spill calendar and merged live (docs/PARALLEL.md,
+/// "Merge rule") — so the horizon is purely a batching knob: too small
+/// and every window is a handful of ties (barrier overhead dominates),
+/// too large and windows balloon past what the merge can stream through
+/// cache.
+///
+/// Seeding: the model layer derives a hint from the service-time
+/// extension bound — a job started at time t cannot produce a departure
+/// before t + minimum gross service time / fastest cluster speed, so no
+/// LP can affect another LP's timeline inside that interval
+/// (docs/PARALLEL.md, "Lookahead bound"). Traces with zero-runtime jobs
+/// or synthetic service distributions unbounded below yield a hint of 0;
+/// the controller then grows the horizon adaptively from observed window
+/// density. All feedback inputs are functions of the event population
+/// alone, never of thread timing, so the window sequence — and therefore
+/// every result — is identical across worker counts.
+#pragma once
+
+#include <cstddef>
+
+namespace mcsim {
+
+/// Deterministic horizon controller for ParallelSimulator windows.
+class HorizonController {
+ public:
+  /// Absolute growth floor (seconds): with a zero hint and ties-only
+  /// windows, doubling from this floor reaches any useful window width
+  /// in a few dozen barriers.
+  static constexpr double kMinHorizon = 1.0 / 1024.0;
+  /// Below this many events per window the horizon grows...
+  static constexpr std::size_t kLowWatermark = 64;
+  /// ...and above this many it shrinks back toward the hint.
+  static constexpr std::size_t kHighWatermark = 8192;
+
+  explicit HorizonController(double hint);
+
+  /// Current window width added to t_min when choosing the cut line.
+  [[nodiscard]] double horizon() const { return horizon_; }
+  [[nodiscard]] double hint() const { return hint_; }
+
+  /// Feedback after a window extraction: `extracted` live events spanning
+  /// `span` seconds from t_min to the last extracted timestamp.
+  void on_window(std::size_t extracted, double span);
+
+ private:
+  double hint_;
+  double horizon_;
+};
+
+}  // namespace mcsim

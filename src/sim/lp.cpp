@@ -1,0 +1,82 @@
+#include "sim/lp.hpp"
+
+#include <algorithm>
+
+namespace mcsim {
+
+namespace {
+/// std::push_heap builds a max-heap, so feed it the inverted comparator.
+bool heap_after(const LpEvent& a, const LpEvent& b) { return lp_event_less(b, a); }
+}  // namespace
+
+void LogicalProcess::heap_push(const LpEvent& event) {
+  heap_.push_back(event);
+  std::push_heap(heap_.begin(), heap_.end(), heap_after);
+}
+
+LpEvent LogicalProcess::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+  const LpEvent event = heap_.back();
+  heap_.pop_back();
+  return event;
+}
+
+void LogicalProcess::flush_and_extract(double t_cut,
+                                       const std::vector<std::uint64_t>& resolved,
+                                       bool check_stale) {
+  for (const LpEvent& event : staged_) {
+    if (check_stale && lp_event_resolved(resolved, event.id)) {
+      dead_slots_.push_back(event.slot);
+      continue;
+    }
+    heap_push(event);
+  }
+  staged_.clear();
+  staged_min_ = kNever;
+  window_.clear();
+  cursor_ = 0;
+  while (!heap_.empty() && heap_.front().time <= t_cut) {
+    const LpEvent event = heap_pop();
+    if (check_stale && lp_event_resolved(resolved, event.id)) {
+      dead_slots_.push_back(event.slot);
+      continue;
+    }
+    window_.push_back(event);
+  }
+}
+
+const LpEvent* LogicalProcess::front(const std::vector<std::uint64_t>& resolved,
+                                     bool check_stale) {
+  while (cursor_ < window_.size()) {
+    const LpEvent& event = window_[cursor_];
+    if (check_stale && lp_event_resolved(resolved, event.id)) {
+      dead_slots_.push_back(event.slot);
+      ++cursor_;
+      continue;
+    }
+    return &event;
+  }
+  return nullptr;
+}
+
+void LogicalProcess::drain_dead_slots(std::vector<std::uint32_t>& out) {
+  out.insert(out.end(), dead_slots_.begin(), dead_slots_.end());
+  dead_slots_.clear();
+}
+
+void LogicalProcess::reserve(std::size_t expected_pending) {
+  heap_.reserve(expected_pending);
+  staged_.reserve(expected_pending);
+  window_.reserve(expected_pending);
+}
+
+void LogicalProcess::clear() {
+  heap_.clear();
+  staged_.clear();
+  staged_min_ = kNever;
+  window_.clear();
+  cursor_ = 0;
+  dead_slots_.clear();
+}
+
+}  // namespace mcsim

@@ -1,0 +1,116 @@
+/// \file
+/// \brief Logical processes: the per-shard event stores of the parallel engine.
+///
+/// ParallelSimulator shards the pending-event population into logical
+/// processes (LPs). The model layer tags every scheduled event with the LP
+/// that owns it — one LP per cluster for events whose effects are confined
+/// to that cluster (single-cluster departures), plus the coordinator LP 0
+/// for cross-LP traffic (arrivals feeding the global queue, co-allocated
+/// departures spanning clusters). Each LP keeps its own calendar — a
+/// (time, id) binary min-heap like the serial Calendar, but with event ids
+/// issued globally by ParallelSimulator so the cross-LP merge can
+/// reproduce the serial engine's exact tie order (docs/PARALLEL.md).
+///
+/// Thread contract: `stage`, `next_time`, `front`, `pop_front` and the
+/// dead-slot drain run only in the coordinator's serial phases;
+/// `flush_and_extract` is the barrier task, run by exactly one worker per
+/// LP with no serial-phase call in flight. No member is touched from two
+/// threads at once, which is what keeps the whole engine TSan-clean
+/// without a single atomic in the event path.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace mcsim {
+
+/// One scheduled occurrence inside the parallel engine. Mirrors
+/// Calendar::Entry, but the id is issued by ParallelSimulator's global
+/// counter — in schedule order across all LPs — rather than per-calendar.
+struct LpEvent {
+  double time;
+  EventId id;
+  std::uint32_t slot;
+};
+
+/// Strict ordering shared by the per-LP heaps and the cross-LP merge:
+/// earlier time first, ties by global schedule order. Identical to the
+/// serial Calendar's comparator, which is the bit-exactness invariant.
+[[nodiscard]] inline bool lp_event_less(const LpEvent& a, const LpEvent& b) {
+  return a.time < b.time || (a.time == b.time && a.id < b.id);
+}
+
+/// Tests a global id against the fired/cancelled bitmap.
+[[nodiscard]] inline bool lp_event_resolved(const std::vector<std::uint64_t>& resolved,
+                                            EventId id) {
+  return (resolved[id >> 6U] >> (id & 63U)) & 1U;
+}
+
+/// One shard of the pending-event population: a staging lane filled during
+/// serial phases, a min-heap calendar maintained at barriers, and the
+/// extracted dispatch window the coordinator merges from.
+class LogicalProcess {
+ public:
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  /// Serial phase, O(1): append an event bound for this LP. It becomes
+  /// heap-resident at the next barrier.
+  void stage(const LpEvent& event) {
+    staged_.push_back(event);
+    if (event.time < staged_min_) staged_min_ = event.time;
+  }
+
+  /// Earliest timestamp held anywhere in this LP (staging lane or heap),
+  /// kNever when empty. Oblivious to cancelled entries: a stale minimum
+  /// only makes the next window start early, never changes results.
+  [[nodiscard]] double next_time() const {
+    double t = staged_min_;
+    if (!heap_.empty() && heap_.front().time < t) t = heap_.front().time;
+    return t;
+  }
+
+  /// Barrier task: flush the staging lane into the heap, then move every
+  /// event with time <= t_cut into the dispatch window in (time, id)
+  /// order. Cancelled entries are dropped here; their handler slots are
+  /// parked in the dead-slot lane for the coordinator to reclaim.
+  void flush_and_extract(double t_cut, const std::vector<std::uint64_t>& resolved,
+                         bool check_stale);
+
+  /// Serial phase: earliest live window entry, or nullptr when the window
+  /// is drained. Skips (and parks the slots of) entries cancelled after
+  /// extraction.
+  [[nodiscard]] const LpEvent* front(const std::vector<std::uint64_t>& resolved,
+                                     bool check_stale);
+
+  /// Serial phase: consume the entry `front` returned.
+  LpEvent pop_front() { return window_[cursor_++]; }
+
+  [[nodiscard]] std::size_t window_size() const { return window_.size(); }
+  [[nodiscard]] bool window_drained() const { return cursor_ >= window_.size(); }
+  [[nodiscard]] double window_back_time() const {
+    return window_.empty() ? -kNever : window_.back().time;
+  }
+
+  /// Serial phase: move handler slots of dropped (cancelled) entries into
+  /// `out` for reuse.
+  void drain_dead_slots(std::vector<std::uint32_t>& out);
+
+  void reserve(std::size_t expected_pending);
+  void clear();
+
+ private:
+  void heap_push(const LpEvent& event);
+  LpEvent heap_pop();
+
+  std::vector<LpEvent> heap_;    // (time, id) min-heap — this LP's calendar
+  std::vector<LpEvent> staged_;  // serial-phase appends awaiting the barrier
+  double staged_min_ = kNever;
+  std::vector<LpEvent> window_;  // extracted events, ascending (time, id)
+  std::size_t cursor_ = 0;       // window_[cursor_..] still undispatched
+  std::vector<std::uint32_t> dead_slots_;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,237 @@
+#include "sim/parallel_simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace mcsim {
+
+namespace {
+bool heap_after(const LpEvent& a, const LpEvent& b) { return lp_event_less(b, a); }
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(Simulator& owner, const ParallelConfig& config)
+    : owner_(owner),
+      lps_(config.lp_count == 0 ? 1 : config.lp_count),
+      crew_(config.worker_threads),
+      horizon_(config.lookahead_hint) {
+  resolved_.push_back(0);  // id 0 is never issued; keep the bitmap non-empty
+}
+
+std::uint32_t ParallelSimulator::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void ParallelSimulator::grow_resolved() {
+  const std::size_t need = (next_id_ >> 6U) + 1;
+  if (resolved_.size() < need) resolved_.resize(need, 0);
+}
+
+EventId ParallelSimulator::schedule_at(double when, EventHandler handler) {
+  const std::uint32_t slot = alloc_slot();
+  slots_[slot] = std::move(handler);
+  const EventId id = next_id_++;
+  grow_resolved();
+  const LpEvent event{when, id, slot};
+  ++pending_;
+  // Inside an open window, anything at or below the cut line must join
+  // the live merge: the horizon may overshoot the model's lookahead and
+  // conservatism is restored here, not by the cut itself.
+  if (window_open_ && when <= t_cut_) {
+    spill_push(event);
+  } else {
+    lps_[current_lp_].stage(event);
+  }
+  return id;
+}
+
+bool ParallelSimulator::cancel(EventId id) {
+  if (id == kNoEvent || id >= next_id_ || is_resolved(id)) return false;
+  // The entry stays wherever it is (LP heap, staging lane, window or
+  // spill) and is dropped when it surfaces; the handler slot is parked
+  // then and reclaimed at the next serial drain — the same lazy contract
+  // as the serial Calendar's resolved bitmap.
+  mark_resolved(id);
+  has_stale_ = true;
+  MCSIM_ASSERT(pending_ > 0);
+  --pending_;
+  return true;
+}
+
+void ParallelSimulator::spill_push(const LpEvent& event) {
+  spill_.push_back(event);
+  std::push_heap(spill_.begin(), spill_.end(), heap_after);
+}
+
+LpEvent ParallelSimulator::spill_pop() {
+  std::pop_heap(spill_.begin(), spill_.end(), heap_after);
+  const LpEvent event = spill_.back();
+  spill_.pop_back();
+  return event;
+}
+
+const LpEvent* ParallelSimulator::merge_peek(int* source) {
+  if (has_stale_) {
+    while (!spill_.empty() && is_resolved(spill_.front().id)) {
+      free_slots_.push_back(spill_.front().slot);
+      spill_pop();
+    }
+  }
+  const LpEvent* best = nullptr;
+  int best_source = kSpillSource;
+  if (!spill_.empty()) best = &spill_.front();
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    const LpEvent* candidate = lps_[i].front(resolved_, has_stale_);
+    if (candidate != nullptr && (best == nullptr || lp_event_less(*candidate, *best))) {
+      best = candidate;
+      best_source = static_cast<int>(i);
+    }
+  }
+  *source = best_source;
+  return best;
+}
+
+void ParallelSimulator::merge_pop_dispatch(int source) {
+  const LpEvent event = source == kSpillSource
+                            ? spill_pop()
+                            : lps_[static_cast<std::size_t>(source)].pop_front();
+  dispatch(event);
+}
+
+bool ParallelSimulator::merge_one() {
+  int source = kSpillSource;
+  const LpEvent* next = merge_peek(&source);
+  if (next == nullptr) {
+    window_open_ = false;
+    return false;
+  }
+  merge_pop_dispatch(source);
+  return true;
+}
+
+double ParallelSimulator::global_next_time() const {
+  double t = LogicalProcess::kNever;
+  for (const LogicalProcess& lp : lps_) t = std::min(t, lp.next_time());
+  return t;
+}
+
+void ParallelSimulator::collect_dead_slots() {
+  for (LogicalProcess& lp : lps_) lp.drain_dead_slots(free_slots_);
+}
+
+bool ParallelSimulator::refill() {
+  window_open_ = false;
+  MCSIM_ASSERT(spill_.empty());
+  // pending_ counts live events only, so this is the authoritative
+  // emptiness test even when heaps still hold cancelled entries.
+  while (pending_ > 0) {
+    const double t_min = global_next_time();
+    MCSIM_ASSERT(t_min < LogicalProcess::kNever);
+    const double t_cut = t_min + horizon_.horizon();
+    ++barriers_;
+    const auto task = [this, t_cut](std::size_t i) {
+      lps_[i].flush_and_extract(t_cut, resolved_, has_stale_);
+    };
+    crew_.run(lps_.size(), task);
+    if (has_stale_) collect_dead_slots();
+    std::size_t extracted = 0;
+    double t_last = t_min;
+    for (const LogicalProcess& lp : lps_) {
+      extracted += lp.window_size();
+      t_last = std::max(t_last, lp.window_back_time());
+    }
+    horizon_.on_window(extracted, t_last - t_min);
+    if (extracted > 0) {
+      window_open_ = true;
+      t_cut_ = t_cut;
+      return true;
+    }
+    // Everything below the cut was stale; those entries are gone now, so
+    // the next round's t_min strictly advances.
+  }
+  return false;
+}
+
+void ParallelSimulator::dispatch(const LpEvent& event) {
+  MCSIM_ASSERT(event.time >= owner_.now_);
+  owner_.now_ = event.time;
+  EventFn handler = std::move(slots_[event.slot]);
+  free_slots_.push_back(event.slot);
+  mark_resolved(event.id);  // a later cancel() of this id must report false
+  --pending_;
+  ++owner_.executed_;
+  handler();
+  if (owner_.step_hook_ && ++owner_.events_since_hook_ >= owner_.hook_stride_) {
+    owner_.events_since_hook_ = 0;
+    owner_.step_hook_(owner_.now_, pending_);
+  }
+}
+
+bool ParallelSimulator::step() {
+  if (merge_one()) return true;
+  if (!refill()) return false;
+  return merge_one();
+}
+
+void ParallelSimulator::run() {
+  owner_.stop_requested_ = false;
+  while (!owner_.stop_requested_) {
+    if (!merge_one() && !refill()) break;
+  }
+}
+
+void ParallelSimulator::run_until(double until) {
+  owner_.stop_requested_ = false;
+  while (!owner_.stop_requested_) {
+    int source = kSpillSource;
+    const LpEvent* next = merge_peek(&source);
+    if (next != nullptr) {
+      // Unlike serial batch remnants (always at the already-accepted
+      // clock), a window remnant may lie beyond `until`; it stays pending
+      // and fires on re-entry, exactly as it would from the serial
+      // calendar.
+      if (next->time > until) break;
+      merge_pop_dispatch(source);
+      continue;
+    }
+    window_open_ = false;
+    if (pending_ == 0 || global_next_time() > until) break;
+    if (!refill()) break;
+  }
+  if (!owner_.stop_requested_ && owner_.now_ < until) owner_.now_ = until;
+}
+
+void ParallelSimulator::reset() {
+  for (LogicalProcess& lp : lps_) lp.clear();
+  slots_.clear();
+  free_slots_.clear();
+  spill_.clear();
+  resolved_.assign(1, 0);
+  next_id_ = 1;
+  pending_ = 0;
+  current_lp_ = 0;
+  window_open_ = false;
+  t_cut_ = 0.0;
+  has_stale_ = false;
+  barriers_ = 0;
+  horizon_ = HorizonController(horizon_.hint());
+}
+
+void ParallelSimulator::reserve(std::size_t expected_total, std::size_t expected_pending) {
+  slots_.reserve(expected_pending);
+  free_slots_.reserve(expected_pending);
+  resolved_.reserve((expected_total >> 6U) + 2);
+  // Cross-LP traffic lands on the coordinator; cluster LPs see a share.
+  const std::size_t per_lp = expected_pending / lps_.size() + 16;
+  lps_.front().reserve(expected_pending);
+  for (std::size_t i = 1; i < lps_.size(); ++i) lps_[i].reserve(per_lp);
+}
+
+}  // namespace mcsim

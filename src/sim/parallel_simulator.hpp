@@ -1,0 +1,128 @@
+/// \file
+/// \brief Conservative-synchronization parallel backend for Simulator.
+///
+/// ParallelSimulator replaces the serial calendar + batch machinery of a
+/// Simulator that was switched over with Simulator::configure_parallel.
+/// The pending-event population is sharded into logical processes (LPs,
+/// sim/lp.hpp) — one per cluster plus the coordinator LP 0 for cross-LP
+/// traffic — and the run advances in barrier-synchronous windows:
+///
+///   1. Barrier: pick t_min, the earliest pending timestamp anywhere, and
+///      cut at t_cut = t_min + horizon (sim/lookahead.hpp). The worker
+///      crew (sim/channel.hpp) flushes each LP's staged events into its
+///      calendar heap and extracts everything <= t_cut into a sorted
+///      per-LP window — the parallel share of the work.
+///   2. Serial phase: the coordinator k-way merges the LP windows by
+///      (time, id) and dispatches each event exactly as the serial engine
+///      would. Events scheduled by handlers land O(1) in their LP's
+///      staging lane when beyond the cut, or in a spill heap that joins
+///      the live merge when at or below it — so a too-large horizon can
+///      never dispatch out of order, and a zero lookahead bound can never
+///      deadlock. The window is conservative by construction.
+///
+/// Bit-exactness invariant (docs/PARALLEL.md): event ids are issued by a
+/// single global counter, and scheduling only happens in serial phases,
+/// so ids are assigned in exactly the order the serial Calendar would
+/// assign them; dispatching in (time, id) order is then, by induction,
+/// the serial engine's exact event order. Handler side effects, FP stat
+/// folds, observability emissions, SWF export and pending-event counts
+/// all follow — `mcsim verify --engine=parallel` reproduces the sealed
+/// goldens byte for byte, on any worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/event.hpp"
+#include "sim/lookahead.hpp"
+#include "sim/lp.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcsim {
+
+/// The parallel engine behind a Simulator. Constructed only via
+/// Simulator::configure_parallel; shares the owner's clock, executed
+/// count, stop flag and step hook so model code cannot tell the engines
+/// apart except by speed.
+class ParallelSimulator {
+ public:
+  ParallelSimulator(Simulator& owner, const ParallelConfig& config);
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  EventId schedule_at(double when, EventHandler handler);
+  bool cancel(EventId id);
+  bool step();
+  void run();
+  void run_until(double until);
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+  void reset();
+  void reserve(std::size_t expected_total, std::size_t expected_pending);
+
+  /// Route subsequent schedules to `lp` (clamped to the LP count).
+  void set_current_lp(std::uint32_t lp) {
+    current_lp_ = lp < lps_.size() ? lp : 0U;
+  }
+
+  [[nodiscard]] std::uint32_t lp_count() const {
+    return static_cast<std::uint32_t>(lps_.size());
+  }
+  [[nodiscard]] unsigned worker_threads() const { return crew_.threads(); }
+
+  /// Introspection for tests and the bench harness.
+  [[nodiscard]] std::uint64_t barrier_count() const { return barriers_; }
+  [[nodiscard]] double horizon() const { return horizon_.horizon(); }
+
+ private:
+  [[nodiscard]] std::uint32_t alloc_slot();
+  void grow_resolved();
+  void mark_resolved(EventId id) {
+    resolved_[id >> 6U] |= std::uint64_t{1} << (id & 63U);
+  }
+  [[nodiscard]] bool is_resolved(EventId id) const {
+    return lp_event_resolved(resolved_, id);
+  }
+
+  /// Earliest live window entry across LP windows and the spill heap.
+  /// `source` receives the LP index, or kSpillSource for the spill.
+  [[nodiscard]] const LpEvent* merge_peek(int* source);
+  void merge_pop_dispatch(int source);
+  bool merge_one();
+  /// Barrier: open the next window. False iff no live event remains.
+  bool refill();
+  [[nodiscard]] double global_next_time() const;
+  void dispatch(const LpEvent& event);
+  void collect_dead_slots();
+
+  void spill_push(const LpEvent& event);
+  LpEvent spill_pop();
+
+  static constexpr int kSpillSource = -1;
+
+  Simulator& owner_;
+  std::vector<LogicalProcess> lps_;
+  WorkerCrew crew_;
+  HorizonController horizon_;
+  /// Handler storage indexed by LpEvent::slot, mutated only in serial
+  /// phases; free_slots_ is the recycling free list.
+  std::vector<EventFn> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  /// Min-heap of events scheduled mid-window with time <= t_cut_; merged
+  /// against the LP windows so they fire in exact (time, id) order.
+  std::vector<LpEvent> spill_;
+  /// Fired/cancelled bitmap indexed by global id (cf. Calendar's scheme).
+  std::vector<std::uint64_t> resolved_;
+  EventId next_id_ = 1;
+  std::size_t pending_ = 0;
+  std::uint32_t current_lp_ = 0;
+  bool window_open_ = false;
+  double t_cut_ = 0.0;
+  /// Set on the first cancel(); until then no structure can hold a dead
+  /// entry and every stale check is skipped (the model hot path never
+  /// cancels).
+  bool has_stale_ = false;
+  std::uint64_t barriers_ = 0;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,188 @@
+// The parallel engine's bit-exactness contract at the full-simulation
+// level (docs/PARALLEL.md): for every policy the paper studies, a complete
+// run on the parallel engine — per-cluster logical processes, conservative
+// windows, a real worker crew — must reproduce the serial reference
+// result *byte for byte*, at every worker count. The comparison is the
+// serialized result JSON (every statistic the manifest records, printed
+// with max_digits10), so a single ULP of drift anywhere fails loudly.
+//
+// sim_parallel_test pins the engine mechanics (windows, spill, stale
+// cancellation); this suite pins the property the goldens gate end to end:
+// scheduling decisions, FP statistic folds and event counts are invariant
+// across engines and worker counts.
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/saturation.hpp"
+#include "exp/manifest.hpp"
+#include "exp/scenario_spec.hpp"
+#include "obs/json.hpp"
+#include "obs/swf_builder.hpp"
+
+namespace mcsim {
+namespace {
+
+exp::ScenarioSpec base_spec(PolicyKind policy) {
+  exp::ScenarioSpec spec;
+  spec.policy = policy;
+  spec.mode = exp::RunMode::kPoint;
+  spec.utilization = 0.6;
+  spec.sim_jobs = 4000;
+  spec.seed = 7;
+  return spec;
+}
+
+struct RunSnapshot {
+  std::string result_json;
+  std::uint64_t events = 0;
+  double end_time = 0.0;
+  std::uint64_t trace_records = 0;
+  double last_finish = 0.0;
+};
+
+/// Run a config with an SWF trace sink attached and capture everything an
+/// external consumer could observe from the run.
+RunSnapshot snapshot(const SimulationConfig& config) {
+  MulticlusterSimulation simulation(config);
+  obs::SwfTraceBuilder builder;
+  simulation.set_trace_sink(&builder);
+  const SimulationResult result = simulation.run();
+
+  RunSnapshot snap;
+  std::ostringstream text;
+  {
+    obs::JsonWriter json(text);
+    write_result_json(json, result);
+  }
+  snap.result_json = text.str();
+  snap.events = result.events_executed;
+  snap.end_time = result.end_time;
+  const SwfTrace trace = builder.trace();
+  snap.trace_records = trace.records.size();
+  if (!trace.records.empty()) {
+    const auto& last = trace.records.back();
+    snap.last_finish = last.submit_time + last.wait_time + last.run_time;
+  }
+  return snap;
+}
+
+using ParityParam = std::tuple<PolicyKind, unsigned>;
+
+class EngineParityTest : public ::testing::TestWithParam<ParityParam> {};
+
+TEST_P(EngineParityTest, FullRunMatchesSerialReference) {
+  const auto [policy, workers] = GetParam();
+
+  SimulationConfig serial = exp::to_simulation_config(base_spec(policy));
+  serial.engine = EngineKind::kSerial;
+  const RunSnapshot expected = snapshot(serial);
+
+  SimulationConfig parallel = exp::to_simulation_config(base_spec(policy));
+  parallel.engine = EngineKind::kParallel;
+  parallel.engine_threads = workers;
+  const RunSnapshot got = snapshot(parallel);
+
+  EXPECT_EQ(expected.result_json, got.result_json);
+  EXPECT_EQ(expected.events, got.events);
+  EXPECT_EQ(expected.end_time, got.end_time);
+  EXPECT_EQ(expected.trace_records, got.trace_records);
+  EXPECT_EQ(expected.last_finish, got.last_finish);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAllCrews, EngineParityTest,
+    ::testing::Combine(::testing::Values(PolicyKind::kGS, PolicyKind::kLS,
+                                         PolicyKind::kLP, PolicyKind::kSC),
+                       ::testing::Values(1U, 2U, 4U)),
+    [](const ::testing::TestParamInfo<ParityParam>& param) {
+      return std::string(policy_name(std::get<0>(param.param))) + "_w" +
+             std::to_string(std::get<1>(param.param));
+    });
+
+// The constant-backlog estimator has its own Simulator and job pool; the
+// same LP assignment rule applies, so it gets its own parity pin.
+TEST(EngineParitySaturation, MatchesSerialReference) {
+  for (const PolicyKind policy : {PolicyKind::kGS, PolicyKind::kLS}) {
+    exp::ScenarioSpec spec = base_spec(policy);
+    spec.mode = exp::RunMode::kSaturation;
+    spec.saturation_completions = 3000;
+    spec.saturation_backlog = 50;
+
+    SaturationConfig serial = exp::to_saturation_config(spec);
+    serial.engine = EngineKind::kSerial;
+    const SaturationResult expected = run_saturation(serial);
+
+    for (const unsigned workers : {1U, 2U, 4U}) {
+      SaturationConfig parallel = exp::to_saturation_config(spec);
+      parallel.engine = EngineKind::kParallel;
+      parallel.engine_threads = workers;
+      const SaturationResult got = run_saturation(parallel);
+
+      EXPECT_EQ(expected.maximal_gross_utilization,
+                got.maximal_gross_utilization)
+          << policy_name(policy) << " w=" << workers;
+      EXPECT_EQ(expected.maximal_net_utilization, got.maximal_net_utilization)
+          << policy_name(policy) << " w=" << workers;
+      EXPECT_EQ(expected.completions, got.completions);
+      EXPECT_EQ(expected.end_time, got.end_time);
+    }
+  }
+}
+
+// Trace replay routes departures through the co-allocation LP rule with
+// recorded (not drawn) service times; pin it against the checked-in log.
+TEST(EngineParityTrace, ReplayMatchesSerialReference) {
+  exp::ScenarioSpec spec = base_spec(PolicyKind::kGS);
+  spec.trace_path = std::string(MCSIM_DATA_DIR) + "/das1_synthetic_sample.swf";
+  spec.trace_scale = 0.5;
+
+  SimulationConfig serial = exp::to_simulation_config(spec);
+  serial.engine = EngineKind::kSerial;
+  const RunSnapshot expected = snapshot(serial);
+
+  SimulationConfig parallel = exp::to_simulation_config(spec);
+  parallel.engine = EngineKind::kParallel;
+  parallel.engine_threads = 2;
+  // The trace pre-scan seeds the conservative lookahead from the shortest
+  // recorded runtime (the service-time extension bound).
+  EXPECT_GT(parallel.trace_workload->min_gross_service, 0.0);
+  const RunSnapshot got = snapshot(parallel);
+
+  EXPECT_EQ(expected.result_json, got.result_json);
+  EXPECT_EQ(expected.events, got.events);
+  EXPECT_EQ(expected.trace_records, got.trace_records);
+}
+
+// The shared --jobs budget: a lone run gets the whole budget, fanned-out
+// runs split it, and 0 resolves to the hardware before dividing.
+TEST(EngineBudget, OneBudgetAcrossRunnerAndCrew) {
+  exp::ScenarioSpec spec;
+  spec.parallelism = 8;
+  EXPECT_EQ(spec.engine_threads_for(1), 8U);
+  EXPECT_EQ(spec.engine_threads_for(4), 2U);
+  EXPECT_EQ(spec.engine_threads_for(8), 1U);
+  EXPECT_EQ(spec.engine_threads_for(16), 1U);  // never zero: inline engine
+
+  spec.parallelism = 1;
+  EXPECT_EQ(spec.engine_threads_for(1), 1U);
+  EXPECT_EQ(spec.engine_threads_for(4), 1U);
+
+  spec.parallelism = 0;  // all cores
+  EXPECT_GE(spec.engine_threads_for(1), 1U);
+}
+
+TEST(EngineKindNames, ParseAndPrintRoundTrip) {
+  EXPECT_STREQ(engine_kind_name(EngineKind::kSerial), "serial");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kParallel), "parallel");
+  EXPECT_EQ(parse_engine_kind("serial"), EngineKind::kSerial);
+  EXPECT_EQ(parse_engine_kind("PARALLEL"), EngineKind::kParallel);
+  EXPECT_THROW(parse_engine_kind("warp"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,321 @@
+// The deterministic cross-LP ordering suite for the parallel backend
+// (docs/PARALLEL.md): tie-timestamp events spanning LPs, cancellation
+// across LPs in every structure an entry can inhabit, mid-window stop(),
+// and a seeded differential stress test pinning the parallel engine's
+// event sequence and pending counts to the serial engine's at 1/2/4
+// worker threads.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/lookahead.hpp"
+#include "sim/parallel_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mcsim {
+namespace {
+
+ParallelConfig make_config(std::uint32_t lp_count, unsigned workers,
+                           double hint = 0.0) {
+  ParallelConfig config;
+  config.lp_count = lp_count;
+  config.worker_threads = workers;
+  config.lookahead_hint = hint;
+  return config;
+}
+
+TEST(WorkerCrew, RunsEveryTaskExactlyOnce) {
+  for (const unsigned threads : {1U, 2U, 4U}) {
+    WorkerCrew crew(threads);
+    EXPECT_EQ(crew.threads(), threads);
+    std::vector<int> hits(64, 0);
+    // Tasks touch disjoint indices, so no synchronization is needed in
+    // the task body — the crew's barrier provides the ordering.
+    for (int round = 0; round < 50; ++round) {
+      crew.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    }
+    for (const int h : hits) EXPECT_EQ(h, 50);
+  }
+}
+
+TEST(WorkerCrew, PropagatesTaskExceptions) {
+  WorkerCrew crew(3);
+  EXPECT_THROW(
+      crew.run(8,
+               [](std::size_t i) {
+                 if (i == 5) throw std::runtime_error("task failed");
+               }),
+      std::runtime_error);
+  // The crew must still be usable after a failed barrier.
+  std::vector<int> hits(4, 0);
+  crew.run(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(HorizonController, GrowsFromZeroAndRespectsHint) {
+  HorizonController zero(0.0);
+  EXPECT_EQ(zero.horizon(), 0.0);
+  zero.on_window(1, 0.0);
+  EXPECT_GE(zero.horizon(), HorizonController::kMinHorizon);
+  const double grown = zero.horizon();
+  zero.on_window(1, 0.0);
+  EXPECT_GE(zero.horizon(), grown * 2.0);
+
+  HorizonController hinted(10.0);
+  EXPECT_DOUBLE_EQ(hinted.horizon(), 10.0);
+  // Fat windows shrink toward, but never below, the model-derived bound.
+  hinted.on_window(HorizonController::kHighWatermark * 2, 5.0);
+  EXPECT_DOUBLE_EQ(hinted.horizon(), 10.0);
+  hinted.on_window(1, 100.0);
+  hinted.on_window(HorizonController::kHighWatermark * 2, 5.0);
+  EXPECT_GE(hinted.horizon(), 10.0);
+}
+
+TEST(ParallelSimulator, TieTimestampsAcrossLpsFireInScheduleOrder) {
+  Simulator sim;
+  sim.configure_parallel(make_config(4, 2));
+  ASSERT_TRUE(sim.parallel_engine());
+  std::vector<int> order;
+  // Same timestamp, four different LPs, scheduled 0..3: the cross-LP
+  // merge must reproduce schedule order, exactly like the serial
+  // calendar's push-order tie rule.
+  for (int i = 0; i < 4; ++i) {
+    sim.set_event_lp(static_cast<std::uint32_t>(i));
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.set_event_lp(2);
+  sim.schedule_at(1.0, [&order] { order.push_back(99); });
+  sim.run();
+  ASSERT_EQ(order.size(), 5U);
+  EXPECT_EQ(order[0], 99);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i + 1)], i);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.executed_events(), 5U);
+}
+
+TEST(ParallelSimulator, CancelAcrossLpsInEveryStructure) {
+  Simulator sim;
+  sim.configure_parallel(make_config(3, 2, 100.0));
+  bool fired_far = false;
+  bool fired_tie = false;
+  bool fired_spill = false;
+  // Victim 1: far future, lives in LP 2's staging lane / heap.
+  sim.set_event_lp(2);
+  const EventId far = sim.schedule_at(50.0, [&] { fired_far = true; });
+  // Victim 2: same-timestamp window mate on another LP, extracted into a
+  // window by the time the canceller runs. Scheduled after the canceller,
+  // so the tie rule fires the canceller first.
+  EventId tie = kNoEvent;
+  sim.set_event_lp(0);
+  sim.schedule_at(10.0, [&] {
+    // Kill the window mate on LP 1, the heap resident on LP 2, and a
+    // freshly spilled event.
+    EXPECT_TRUE(sim.cancel(tie));
+    EXPECT_FALSE(sim.cancel(tie));  // second cancel reports dead
+    EXPECT_TRUE(sim.cancel(far));
+    sim.set_event_lp(1);
+    const EventId spilled = sim.schedule_at(10.0, [&] { fired_spill = true; });
+    EXPECT_TRUE(sim.cancel(spilled));
+  });
+  sim.set_event_lp(1);
+  tie = sim.schedule_at(10.0, [&] { fired_tie = true; });
+  sim.run();
+  EXPECT_FALSE(fired_far);
+  EXPECT_FALSE(fired_tie);
+  EXPECT_FALSE(fired_spill);
+  EXPECT_EQ(sim.pending_events(), 0U);
+  EXPECT_EQ(sim.executed_events(), 1U);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(ParallelSimulator, CancelOfFiredEventReportsFalse) {
+  Simulator sim;
+  sim.configure_parallel(make_config(2, 1));
+  sim.set_event_lp(1);
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(kNoEvent));
+  EXPECT_FALSE(sim.cancel(EventId{12345}));  // never issued
+}
+
+TEST(ParallelSimulator, StopMidWindowKeepsRemnantsPending) {
+  Simulator sim;
+  // A large lookahead pulls all three ties plus the t=2 event into one
+  // window; stop() from the second handler must leave the rest pending,
+  // mirroring the serial engine's mid-batch stop contract.
+  sim.configure_parallel(make_config(2, 2, 100.0));
+  std::vector<int> order;
+  sim.set_event_lp(0);
+  sim.schedule_at(1.0, [&] { order.push_back(0); });
+  sim.set_event_lp(1);
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.stop();
+  });
+  sim.set_event_lp(0);
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.set_event_lp(1);
+  sim.schedule_at(2.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(sim.pending_events(), 2U);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  sim.run();  // re-entry drains the remnant window, then the rest
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.pending_events(), 0U);
+}
+
+TEST(ParallelSimulator, RunUntilMatchesSerialClockAndRemnants) {
+  for (const unsigned workers : {1U, 2U}) {
+    Simulator serial;
+    Simulator parallel;
+    parallel.configure_parallel(make_config(3, workers, 1000.0));
+    std::vector<double> serial_seen;
+    std::vector<double> parallel_seen;
+    const auto load = [](Simulator& sim, std::vector<double>& seen) {
+      for (int i = 1; i <= 9; ++i) {
+        sim.set_event_lp(static_cast<std::uint32_t>(i % 3));
+        sim.schedule_at(static_cast<double>(i), [&seen, &sim] { seen.push_back(sim.now()); });
+      }
+    };
+    load(serial, serial_seen);
+    load(parallel, parallel_seen);
+    // The huge hint extracts all nine events into the first parallel
+    // window; run_until must still refuse the ones beyond the cut-off.
+    serial.run_until(4.5);
+    parallel.run_until(4.5);
+    EXPECT_EQ(serial_seen, parallel_seen);
+    EXPECT_DOUBLE_EQ(parallel.now(), serial.now());
+    EXPECT_EQ(parallel.pending_events(), serial.pending_events());
+    serial.run_until(9.0);
+    parallel.run_until(9.0);
+    EXPECT_EQ(serial_seen, parallel_seen);
+    EXPECT_DOUBLE_EQ(parallel.now(), serial.now());
+    EXPECT_EQ(parallel.pending_events(), 0U);
+  }
+}
+
+TEST(ParallelSimulator, StepHookSeesSerialPendingCounts) {
+  Simulator serial;
+  Simulator parallel;
+  parallel.configure_parallel(make_config(4, 2));
+  std::vector<std::pair<double, std::size_t>> serial_hook;
+  std::vector<std::pair<double, std::size_t>> parallel_hook;
+  serial.set_step_hook([&](double now, std::size_t pending) {
+    serial_hook.emplace_back(now, pending);
+  });
+  parallel.set_step_hook([&](double now, std::size_t pending) {
+    parallel_hook.emplace_back(now, pending);
+  });
+  const auto load = [](Simulator& sim) {
+    std::function<void(int)> chain = [&sim, &chain](int depth) {
+      if (depth >= 40) return;
+      sim.set_event_lp(static_cast<std::uint32_t>(depth % 4));
+      sim.schedule_in(0.5, [&sim, &chain, depth] { chain(depth + 1); });
+      if (depth % 3 == 0) {
+        sim.set_event_lp(static_cast<std::uint32_t>((depth + 1) % 4));
+        sim.schedule_in(1.25, [] {});
+      }
+    };
+    chain(0);
+    sim.run();
+  };
+  load(serial);
+  load(parallel);
+  ASSERT_FALSE(serial_hook.empty());
+  EXPECT_EQ(serial_hook, parallel_hook);
+}
+
+TEST(ParallelSimulator, ResetClearsStateAndStaysEngaged) {
+  Simulator sim;
+  sim.configure_parallel(make_config(2, 2));
+  sim.set_event_lp(1);
+  sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 2U);
+  sim.reset();
+  EXPECT_TRUE(sim.parallel_engine());
+  EXPECT_EQ(sim.executed_events(), 0U);
+  EXPECT_EQ(sim.pending_events(), 0U);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  bool fired = false;
+  sim.schedule_at(1.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(ParallelSimulator, ConfigureRequiresFreshSimulator) {
+  Simulator used;
+  used.schedule_at(1.0, [] {});
+  EXPECT_ANY_THROW(used.configure_parallel(make_config(2, 1)));
+  Simulator fresh;
+  fresh.configure_parallel(make_config(2, 1));
+  EXPECT_ANY_THROW(fresh.configure_parallel(make_config(2, 1)));
+}
+
+// Differential stress: random self-scheduling, cancelling workloads run
+// on the serial engine and on parallel engines with 1, 2 and 4 workers.
+// The full dispatch transcript — (time, label) pairs plus the pending
+// count after every event — must be identical across all four engines.
+TEST(ParallelSimulatorStress, MatchesSerialTranscriptAcrossWorkerCounts) {
+  constexpr std::uint32_t kLps = 5;
+  struct Transcript {
+    std::vector<std::pair<double, int>> fired;
+    std::vector<std::size_t> pending_after;
+  };
+  const auto drive = [&](Simulator& sim, Transcript& out) {
+    Rng rng(0xC0A110C5EEDULL);
+    std::vector<EventId> live;
+    int label = 0;
+    std::function<void()> spawn = [&] {
+      // Each fired event records itself, then randomly schedules a few
+      // successors across LPs and occasionally cancels a live event —
+      // co-allocation-style cross-LP traffic in miniature.
+      const int self = label++;
+      const double base = sim.now();
+      out.fired.emplace_back(base, self);
+      const int children = static_cast<int>(rng.uniform_int(4));
+      for (int c = 0; c < children && label < 4000; ++c) {
+        sim.set_event_lp(static_cast<std::uint32_t>(rng.uniform_int(kLps)));
+        const double delay = rng.uniform() < 0.2 ? 0.0 : rng.uniform(0.0, 3.0);
+        live.push_back(sim.schedule_in(delay, spawn));
+      }
+      if (!live.empty() && rng.uniform() < 0.25) {
+        const auto pick = rng.uniform_int(live.size());
+        sim.cancel(live[pick]);  // may already be dead; both engines agree
+        live.erase(live.begin() + static_cast<long>(pick));
+      }
+      out.pending_after.push_back(sim.pending_events());
+    };
+    for (int i = 0; i < 12; ++i) {
+      sim.set_event_lp(static_cast<std::uint32_t>(i % kLps));
+      live.push_back(sim.schedule_at(static_cast<double>(i) * 0.75, spawn));
+    }
+    sim.run();
+  };
+
+  Transcript reference;
+  {
+    Simulator serial;
+    drive(serial, reference);
+  }
+  ASSERT_GT(reference.fired.size(), 100U);
+  for (const unsigned workers : {1U, 2U, 4U}) {
+    Transcript parallel_out;
+    Simulator parallel;
+    parallel.configure_parallel(make_config(kLps, workers));
+    drive(parallel, parallel_out);
+    EXPECT_EQ(reference.fired, parallel_out.fired) << "workers=" << workers;
+    EXPECT_EQ(reference.pending_after, parallel_out.pending_after)
+        << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace mcsim

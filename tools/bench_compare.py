@@ -12,6 +12,13 @@ loop (raw calendar push/pop at fixed occupancy) scales with machine speed
 the same way the replay loop does, so the ratio is stable across hosts
 while still catching real regressions in the simulation hot path.
 
+The parallel-engine replay row (BM_ReplayThroughputParallel/GS) is checked
+differently: its absolute throughput depends on the core count, so instead
+of a normalized ratio the gate asserts a >= 1.5x events/sec speedup over
+the serial GS row — but only on runners with >= 4 cores. Smaller runners
+print an explicit SKIPPED line (recording the core count from the gbench
+context) rather than passing silently.
+
 Usage:
   # Gate a fresh run against the checked-in baseline:
   ./build/bench/replay_throughput --benchmark_format=json > results.json
@@ -29,10 +36,19 @@ import sys
 
 CALIBRATION = "BM_CalendarCalibration"
 GATED = ["BM_ReplayThroughput/GS", "BM_ReplayThroughput/LS"]
+# The parallel-engine replay (bit-identical results, wall-clock row). Not
+# ratio-gated — its throughput depends on the core count — but on a runner
+# with >= MIN_SPEEDUP_CORES cores it must beat the serial GS row by the
+# speedup floor. Smaller runners SKIP that assertion out loud; they never
+# silently pass it (docs/PARALLEL.md).
+PARALLEL = "BM_ReplayThroughputParallel/GS/real_time"
+PARALLEL_BASELINE_OF = "BM_ReplayThroughput/GS"
+MIN_SPEEDUP = 1.5
+MIN_SPEEDUP_CORES = 4
 
 
-def load_rates(path):
-    """Return {benchmark name: items_per_second} from a gbench JSON file."""
+def load_results(path):
+    """Return ({benchmark name: items_per_second}, num_cpus) from gbench JSON."""
     with open(path) as f:
         doc = json.load(f)
     rates = {}
@@ -44,7 +60,34 @@ def load_rates(path):
         rate = bench.get("items_per_second")
         if rate:
             rates[bench["name"]] = rate
-    return rates
+    return rates, doc.get("context", {}).get("num_cpus")
+
+
+def check_parallel_speedup(rates, num_cpus, policy=None):
+    """Assert the parallel engine's speedup, or skip loudly. Returns ok.
+
+    `policy` is the baseline's optional "parallel" object; keys override
+    the module defaults so the floor lives in bench/baseline.json next to
+    the serial ratios.
+    """
+    policy = policy or {}
+    parallel = policy.get("benchmark", PARALLEL)
+    over = policy.get("speedup_over", PARALLEL_BASELINE_OF)
+    min_speedup = policy.get("min_speedup", MIN_SPEEDUP)
+    min_cores = policy.get("min_cores", MIN_SPEEDUP_CORES)
+    if parallel not in rates:
+        print(f"parallel speedup: SKIPPED ({parallel} absent from results)")
+        return True
+    speedup = rates[parallel] / rates[over]
+    if num_cpus is None or num_cpus < min_cores:
+        cores = "unknown" if num_cpus is None else str(num_cpus)
+        print(f"parallel speedup: {speedup:.2f}x — assertion SKIPPED "
+              f"(runner has {cores} cores, need >= {min_cores})")
+        return True
+    status = "ok" if speedup >= min_speedup else "REGRESSION"
+    print(f"parallel speedup: {speedup:.2f}x vs required {min_speedup}x "
+          f"on {num_cpus} cores {status}")
+    return speedup >= min_speedup
 
 
 def normalized_ratios(rates):
@@ -67,7 +110,8 @@ def main():
                         help="rewrite the baseline from these results instead of gating")
     args = parser.parse_args()
 
-    ratios = normalized_ratios(load_rates(args.results))
+    rates, num_cpus = load_results(args.results)
+    ratios = normalized_ratios(rates)
 
     if args.update:
         baseline = {
@@ -86,7 +130,8 @@ def main():
         return 0
 
     with open(args.baseline) as f:
-        expected = json.load(f)["ratios"]
+        baseline_doc = json.load(f)
+    expected = baseline_doc["ratios"]
 
     failed = False
     for name in GATED:
@@ -100,6 +145,9 @@ def main():
             failed = True
         print(f"{name}: ratio {current:.4f} vs baseline {base:.4f} "
               f"({change:+.1%}) {status}")
+
+    if not check_parallel_speedup(rates, num_cpus, baseline_doc.get("parallel")):
+        failed = True
 
     if failed:
         print(f"FAIL: regression beyond {args.threshold:.0%} threshold; "

@@ -23,9 +23,10 @@ BENCH_COMPARE = REPO_ROOT / "tools" / "bench_compare.py"
 CALIBRATION = "BM_CalendarCalibration"
 GS = "BM_ReplayThroughput/GS"
 LS = "BM_ReplayThroughput/LS"
+PARALLEL = "BM_ReplayThroughputParallel/GS/real_time"
 
 
-def gbench_json(rates):
+def gbench_json(rates, num_cpus=None):
     """A minimal google-benchmark JSON document with the given items/sec."""
     benchmarks = [
         {"name": name, "run_type": "iteration", "items_per_second": rate}
@@ -37,7 +38,10 @@ def gbench_json(rates):
         "run_type": "aggregate",
         "items_per_second": 1.0,
     })
-    return {"benchmarks": benchmarks}
+    doc = {"benchmarks": benchmarks}
+    if num_cpus is not None:
+        doc["context"] = {"num_cpus": num_cpus}
+    return doc
 
 
 class BenchCompareTest(unittest.TestCase):
@@ -115,6 +119,49 @@ class BenchCompareTest(unittest.TestCase):
         self.assertAlmostEqual(written["ratios"][LS], 0.3)
         proc = self.run_gate(results, baseline)
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    # -- the parallel-engine speedup assertion ---------------------------
+
+    def test_speedup_met_on_big_runner_passes(self):
+        results = self.write("results.json", gbench_json(
+            {CALIBRATION: 10e6, GS: 4e6, LS: 3e6, PARALLEL: 8e6}, num_cpus=8))
+        proc = self.run_gate(results, self.baseline(0.4, 0.3))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("2.00x", proc.stdout)
+        self.assertNotIn("SKIPPED", proc.stdout)
+
+    def test_speedup_missed_on_big_runner_fails(self):
+        # 1.2x on 8 cores is below the 1.5x floor: must exit 1.
+        results = self.write("results.json", gbench_json(
+            {CALIBRATION: 10e6, GS: 4e6, LS: 3e6, PARALLEL: 4.8e6}, num_cpus=8))
+        proc = self.run_gate(results, self.baseline(0.4, 0.3))
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_speedup_skipped_not_passed_on_small_runner(self):
+        # Even a parallel *slowdown* is fine on 1 core — but the skip must
+        # be printed, never silent.
+        results = self.write("results.json", gbench_json(
+            {CALIBRATION: 10e6, GS: 4e6, LS: 3e6, PARALLEL: 2e6}, num_cpus=1))
+        proc = self.run_gate(results, self.baseline(0.4, 0.3))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("SKIPPED", proc.stdout)
+        self.assertIn("1 cores", proc.stdout)
+
+    def test_speedup_skipped_when_core_count_unknown(self):
+        results = self.write("results.json", gbench_json(
+            {CALIBRATION: 10e6, GS: 4e6, LS: 3e6, PARALLEL: 2e6}))
+        proc = self.run_gate(results, self.baseline(0.4, 0.3))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("SKIPPED", proc.stdout)
+
+    def test_speedup_skipped_when_parallel_row_absent(self):
+        # Old result files (no parallel row) still gate the serial ratios.
+        results = self.write("results.json", gbench_json(
+            {CALIBRATION: 10e6, GS: 4e6, LS: 3e6}, num_cpus=8))
+        proc = self.run_gate(results, self.baseline(0.4, 0.3))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("SKIPPED", proc.stdout)
 
     def test_checked_in_baseline_is_well_formed(self):
         doc = json.loads((REPO_ROOT / "bench" / "baseline.json").read_text())
