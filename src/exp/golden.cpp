@@ -300,6 +300,31 @@ std::string observation_digest(const obs::JsonValue& observation) {
   return digest_string(fnv1a64(flatten_observation(observation)));
 }
 
+std::string manifest_observation(const obs::JsonValue& manifest) {
+  const obs::JsonValue* schema =
+      manifest.is_object() ? manifest.find("schema") : nullptr;
+  MCSIM_REQUIRE(schema != nullptr && schema->is_string() &&
+                    schema->as_string() == "mcsim-run-manifest",
+                "manifest observation: document is not a run manifest");
+  const obs::JsonValue* config = manifest.find("config");
+  const obs::JsonValue* result = manifest.find("result");
+  MCSIM_REQUIRE(config != nullptr && result != nullptr,
+                "manifest observation: manifest lacks config/result objects");
+  std::ostringstream out;
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.key("config");
+  write_parsed_json(json, *config);
+  json.key("result");
+  write_parsed_json(json, *result);
+  if (const obs::JsonValue* scenario = manifest.find("scenario")) {
+    json.key("scenario");
+    write_parsed_json(json, *scenario);
+  }
+  json.end_object();
+  return out.str();
+}
+
 // -- comparison -------------------------------------------------------------
 
 namespace {

@@ -113,6 +113,18 @@ std::string observation_digest(const obs::JsonValue& observation);
 /// for tests and for diffing two goldens by hand).
 std::string flatten_observation(const obs::JsonValue& observation);
 
+/// The deterministic sub-document of a parsed run manifest — config,
+/// result and (when embedded) scenario, re-serialized canonically — i.e.
+/// everything in a manifest that is a pure function of the scenario.
+/// Wall-clock provenance (clocks.*, provenance.command_line, the run.*
+/// metric gauges) is excluded by construction. Two runs of the same
+/// scenario on the same build produce byte-identical observations, which
+/// is what makes a served manifest comparable bit-exactly against an
+/// offline `mcsim run` manifest (docs/SERVING.md, the serve-smoke CI job,
+/// tests/serve_server_test.cpp). Throws std::invalid_argument when
+/// `manifest` is not a run-manifest document.
+std::string manifest_observation(const obs::JsonValue& manifest);
+
 /// Compare two observation trees. Object members are matched by key
 /// (missing and extra keys are divergences), arrays element-wise, numeric
 /// leaves per `options`. Returns the first divergence in document order.

@@ -305,7 +305,21 @@ SimulationConfig to_simulation_config(const ScenarioSpec& spec) {
   return to_simulation_config(spec, spec.utilization);
 }
 
+ResolvedTrace resolve_trace_from_file(const std::string& path) {
+  ResolvedTrace resolved;
+  resolved.scan = scan_swf_file(path);
+  resolved.open_source = [path]() -> std::unique_ptr<TraceRecordSource> {
+    return std::make_unique<SwfFileStream>(path);
+  };
+  return resolved;
+}
+
 SimulationConfig to_simulation_config(const ScenarioSpec& spec, double utilization) {
+  return to_simulation_config(spec, utilization, nullptr);
+}
+
+SimulationConfig to_simulation_config(const ScenarioSpec& spec, double utilization,
+                                      const TraceResolver& resolve_trace) {
   validate(spec);
   SimulationConfig config;
   config.policy = spec.policy;
@@ -318,8 +332,13 @@ SimulationConfig to_simulation_config(const ScenarioSpec& spec, double utilizati
     // records, and yields the aggregate facts scale derivation needs —
     // without materialising the records. Both delivery modes below share
     // this scan, so the derived arrival scale is bit-identical between
-    // them.
-    const SwfScan scan = scan_swf_file(spec.trace_path);
+    // them. A custom resolver (the serve layer's warm cache) supplies the
+    // scan from memory instead of re-reading the file; the whole-file test
+    // hook always goes to disk — it exists to measure exactly that.
+    const ResolvedTrace resolved = (resolve_trace && !spec.trace_whole_file)
+                                       ? resolve_trace(spec.trace_path)
+                                       : resolve_trace_from_file(spec.trace_path);
+    const SwfScan& scan = resolved.scan;
     MCSIM_REQUIRE(scan.summary.total_records > 0,
                   "scenario: trace " + spec.trace_path +
                       " has no job records (only " +
@@ -349,11 +368,10 @@ SimulationConfig to_simulation_config(const ScenarioSpec& spec, double utilizati
     } else {
       // Streaming mode: each engine opens its own stream on demand and
       // re-sorts through the bounded lookahead window, so peak memory is
-      // O(window) however long the log is.
-      const std::string path = spec.trace_path;
-      trace->open_source = [path]() -> std::unique_ptr<TraceRecordSource> {
-        return std::make_unique<SwfFileStream>(path);
-      };
+      // O(window) however long the log is. The stream factory comes from
+      // the resolver: a fresh file reader by default, a cursor over warm
+      // in-memory records under the experiment daemon.
+      trace->open_source = resolved.open_source;
       trace->streamed_usable_records = scan.summary.usable_records;
     }
     // Point mode replays at the spec's fixed scale; a sweep re-scales the

@@ -22,10 +22,14 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "core/engine.hpp"
 #include "core/saturation.hpp"
 #include "exp/scenario.hpp"
+#include "trace/swf_stream.hpp"
 #include "workload/das_workload.hpp"
+#include "workload/trace_source.hpp"
 
 namespace mcsim::obs {
 class JsonValue;
@@ -189,13 +193,38 @@ struct ScenarioSpec {
 /// offending field.
 void validate(const ScenarioSpec& spec);
 
+/// How a trace path becomes a validated stream of records. The default
+/// resolver scans and then re-reads the file (scan_swf_file +
+/// SwfFileStream); the experiment daemon's warm cache substitutes one that
+/// serves both from memory (src/serve/trace_cache.hpp). The scan and the
+/// records a resolver returns must describe the same log — the derived
+/// arrival scale, validation counts and manifest provenance all come from
+/// the scan, so a mismatched pair would silently skew results.
+struct ResolvedTrace {
+  SwfScan scan;
+  /// Fresh per-engine record stream over the log, in an order no record of
+  /// which is displaced more than the lookahead window from its
+  /// (submit_time, job_id) sort position. Must be non-null.
+  TraceSourceFactory open_source;
+};
+using TraceResolver = std::function<ResolvedTrace(const std::string& path)>;
+
+/// The resolver to_simulation_config uses when none is given: one
+/// O(1)-memory validating scan, then a fresh SwfFileStream per engine.
+ResolvedTrace resolve_trace_from_file(const std::string& path);
+
 /// THE construction path from a spec to an engine config — every layer
 /// (CLI, scenario files, manifests, PaperScenario helpers, examples)
 /// funnels through here, which is what makes their runs bit-identical.
 /// The one-argument form uses spec.utilization; the two-argument form is
-/// for sweep points.
+/// for sweep points. The three-argument form lets a caller substitute how
+/// trace paths are opened (nullptr resolver = the file-backed default);
+/// results are resolver-invariant by the streaming-equivalence contract
+/// (tests/serve_server_test.cpp pins the warm-cache case).
 SimulationConfig to_simulation_config(const ScenarioSpec& spec);
 SimulationConfig to_simulation_config(const ScenarioSpec& spec, double utilization);
+SimulationConfig to_simulation_config(const ScenarioSpec& spec, double utilization,
+                                      const TraceResolver& resolve_trace);
 
 /// The constant-backlog estimator's config for this spec (saturation
 /// mode). Saturation keeps its own warmup default; cluster speeds are not

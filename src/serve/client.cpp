@@ -1,0 +1,60 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+
+#include "serve/protocol.hpp"
+
+namespace mcsim::serve {
+
+namespace {
+
+/// A response line can embed a whole manifest; size the framing guard for
+/// archive-scale documents.
+constexpr std::size_t kMaxResponseBytes = 64u << 20;
+
+}  // namespace
+
+ServeClient::ServeClient(const std::string& socket_path)
+    : stream_(UnixStream::connect(socket_path)) {}
+
+obs::JsonValue ServeClient::request(const std::string& line) {
+  stream_.write_all(line + "\n", timeout_ms_);
+  std::string response_line;
+  if (!stream_.read_line(response_line, timeout_ms_, kMaxResponseBytes)) {
+    throw std::runtime_error("mcsim: server closed the connection mid-request");
+  }
+  obs::JsonValue response = obs::parse_json(response_line);
+  if (!response.is_object() || response.find("ok") == nullptr) {
+    throw std::runtime_error("mcsim: malformed server response: " + response_line);
+  }
+  if (!response.at("ok").as_bool()) {
+    const obs::JsonValue* error = response.find("error");
+    if (error != nullptr && error->is_object()) {
+      throw ServeError(error->at("code").as_string(), error->at("message").as_string());
+    }
+    throw std::runtime_error("mcsim: server reported an error without detail");
+  }
+  return response;
+}
+
+std::uint64_t ServeClient::submit(const std::string& spec_json, const std::string& name) {
+  std::string line = "{\"op\":\"submit\",\"spec\":" + spec_json;
+  if (!name.empty()) line += ",\"name\":" + json_string(name);
+  line += '}';
+  return request(line).at("id").as_uint();
+}
+
+obs::JsonValue ServeClient::await_result(std::uint64_t id) {
+  obs::JsonValue response = request("{\"op\":\"result\",\"id\":" + std::to_string(id) +
+                                    ",\"wait\":true}");
+  if (response.find("manifest") == nullptr) {
+    throw std::runtime_error("mcsim: result response carries no manifest");
+  }
+  return response;
+}
+
+obs::JsonValue ServeClient::stats() { return request("{\"op\":\"stats\"}"); }
+
+void ServeClient::shutdown() { request("{\"op\":\"shutdown\"}"); }
+
+}  // namespace mcsim::serve

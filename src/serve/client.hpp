@@ -1,0 +1,66 @@
+/// \file
+/// \brief Client side of the experiment service: one connection, typed
+/// request/response helpers over the NDJSON protocol (docs/SERVING.md).
+///
+/// `mcsim submit` is a thin wrapper over this class, and the server tests
+/// drive it in-process; both sides of the wire therefore share one framing
+/// implementation and cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json_reader.hpp"
+#include "util/socket.hpp"
+
+namespace mcsim::serve {
+
+/// Raised when the server answers `"ok": false`; carries the structured
+/// error code alongside the message.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+  [[nodiscard]] const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+class ServeClient {
+ public:
+  /// Connect to the daemon at `socket_path`. Throws std::system_error when
+  /// nothing is listening.
+  explicit ServeClient(const std::string& socket_path);
+
+  /// Send one raw request line and return the parsed response document.
+  /// Throws ServeError on an `"ok": false` answer, std::system_error on
+  /// transport failure, std::runtime_error on a malformed response.
+  obs::JsonValue request(const std::string& line);
+
+  /// Submit a scenario (its JSON object rendered compactly in
+  /// `spec_json`); returns the run id.
+  std::uint64_t submit(const std::string& spec_json, const std::string& name = "");
+
+  /// Block until run `id` is terminal and return its manifest document.
+  /// A failed or cancelled run surfaces as ServeError (kErrRunFailed /
+  /// kErrRunCancelled).
+  obs::JsonValue await_result(std::uint64_t id);
+
+  /// `{"op":"stats"}` as a parsed document.
+  obs::JsonValue stats();
+
+  /// Ask the server to drain and exit.
+  void shutdown();
+
+  /// Per-response timeout. The default is generous: `await_result` blocks
+  /// for the whole simulation.
+  void set_timeout_ms(int timeout_ms) { timeout_ms_ = timeout_ms; }
+
+ private:
+  UnixStream stream_;
+  int timeout_ms_ = 10 * 60 * 1000;
+};
+
+}  // namespace mcsim::serve

@@ -1,0 +1,132 @@
+#include "serve/registry.hpp"
+
+#include "util/assert.hpp"
+
+namespace mcsim::serve {
+
+const char* run_state_name(RunState state) {
+  switch (state) {
+    case RunState::kQueued: return "queued";
+    case RunState::kRunning: return "running";
+    case RunState::kDone: return "done";
+    case RunState::kFailed: return "failed";
+    case RunState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::uint64_t RunRegistry::submit(exp::ScenarioSpec spec, std::string name) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    Record record;
+    record.snapshot.id = id;
+    record.snapshot.name = name.empty() ? spec.label() : std::move(name);
+    record.snapshot.state = RunState::kQueued;
+    record.spec = std::move(spec);
+    runs_.emplace(id, std::move(record));
+    ++counters_.submitted;
+    ++counters_.queued;
+  }
+  work_ready_.notify_one();
+  return id;
+}
+
+std::vector<std::pair<std::uint64_t, exp::ScenarioSpec>> RunRegistry::claim_queued() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_ready_.wait(lock, [this] { return stop_ || counters_.queued > 0; });
+  std::vector<std::pair<std::uint64_t, exp::ScenarioSpec>> batch;
+  for (auto& [id, record] : runs_) {
+    if (record.snapshot.state != RunState::kQueued) continue;
+    record.snapshot.state = RunState::kRunning;
+    --counters_.queued;
+    ++counters_.running;
+    batch.emplace_back(id, record.spec);
+  }
+  return batch;
+}
+
+void RunRegistry::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+}
+
+void RunRegistry::complete(std::uint64_t id, std::string manifest_json) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = runs_.find(id);
+    MCSIM_ASSERT(found != runs_.end());
+    Record& record = found->second;
+    MCSIM_ASSERT(record.snapshot.state == RunState::kRunning);
+    record.snapshot.state = RunState::kDone;
+    record.snapshot.manifest_json = std::move(manifest_json);
+    --counters_.running;
+    ++counters_.done;
+  }
+  notify_terminal();
+}
+
+void RunRegistry::fail(std::uint64_t id, std::string error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = runs_.find(id);
+    MCSIM_ASSERT(found != runs_.end());
+    Record& record = found->second;
+    MCSIM_ASSERT(record.snapshot.state == RunState::kRunning);
+    record.snapshot.state = RunState::kFailed;
+    record.snapshot.error = std::move(error);
+    --counters_.running;
+    ++counters_.failed;
+  }
+  notify_terminal();
+}
+
+RunState RunRegistry::cancel(std::uint64_t id) {
+  bool cancelled = false;
+  RunState state = RunState::kQueued;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = runs_.find(id);
+    if (found == runs_.end()) {
+      // Never-submitted ids are the caller's problem (get() distinguishes).
+      return RunState::kCancelled;
+    }
+    Record& record = found->second;
+    if (record.snapshot.state == RunState::kQueued) {
+      record.snapshot.state = RunState::kCancelled;
+      --counters_.queued;
+      ++counters_.cancelled;
+      cancelled = true;
+    }
+    state = record.snapshot.state;
+  }
+  if (cancelled) notify_terminal();
+  return state;
+}
+
+std::optional<RunSnapshot> RunRegistry::get(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = runs_.find(id);
+  if (found == runs_.end()) return std::nullopt;
+  return found->second.snapshot;
+}
+
+RegistryStats RunRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+bool RunRegistry::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.queued == 0 && counters_.running == 0;
+}
+
+void RunRegistry::notify_terminal() {
+  if (on_terminal_) on_terminal_();
+}
+
+}  // namespace mcsim::serve

@@ -1,0 +1,113 @@
+/// \file
+/// \brief The run registry: every submission the daemon has accepted, from
+/// queued through its terminal state (docs/SERVING.md, "Run lifecycle").
+///
+/// The registry is the hand-off point between the server's I/O loop (which
+/// submits, answers status/result/cancel, and decides when a drain is
+/// complete) and the dispatch thread (which claims queued runs in batches
+/// and executes them on the exp::Runner pool). Both sides see one mutex;
+/// the dispatch thread sleeps on a condition variable and the I/O loop is
+/// woken through a completion callback (it cannot block here — it has a
+/// poll(2) loop to run).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/scenario_spec.hpp"
+
+namespace mcsim::serve {
+
+/// Lifecycle of a served run. Queued runs can still be cancelled; the
+/// other four states are reached exactly once. kRunning never goes back.
+enum class RunState : std::uint8_t { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+const char* run_state_name(RunState state);
+
+[[nodiscard]] constexpr bool is_terminal(RunState state) {
+  return state == RunState::kDone || state == RunState::kFailed ||
+         state == RunState::kCancelled;
+}
+
+/// Snapshot of one run (returned by value — the registry's internal record
+/// keeps changing under its own lock).
+struct RunSnapshot {
+  std::uint64_t id = 0;
+  std::string name;           ///< client label; spec.label() when omitted
+  RunState state = RunState::kQueued;
+  std::string manifest_json;  ///< kDone: the full pretty-printed manifest
+  std::string error;          ///< kFailed: what the run threw
+};
+
+/// Aggregate counters for the `stats` op.
+struct RegistryStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t running = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+};
+
+class RunRegistry {
+ public:
+  /// Called (with no registry lock held) every time a run reaches a
+  /// terminal state — the server points this at its self-pipe so the poll
+  /// loop wakes up and answers pending `result wait:true` requests.
+  using CompletionHook = std::function<void()>;
+
+  explicit RunRegistry(CompletionHook on_terminal = nullptr)
+      : on_terminal_(std::move(on_terminal)) {}
+
+  /// Queue a run; returns its id (ids are 1-based and dense).
+  std::uint64_t submit(exp::ScenarioSpec spec, std::string name);
+
+  /// Block until at least one run is queued or `stop` was signalled; then
+  /// atomically move every queued run to kRunning and return (id, spec)
+  /// pairs in submission order. Empty only after request_stop().
+  std::vector<std::pair<std::uint64_t, exp::ScenarioSpec>> claim_queued();
+
+  /// Wake claim_queued() for shutdown: once called, an empty claim means
+  /// "no more work is coming, exit the dispatch loop".
+  void request_stop();
+
+  void complete(std::uint64_t id, std::string manifest_json);
+  void fail(std::uint64_t id, std::string error);
+
+  /// Cancel a queued run. Returns the state the run was actually in:
+  /// kCancelled on success, the unchanged state (kRunning or terminal)
+  /// when it was too late.
+  RunState cancel(std::uint64_t id);
+
+  [[nodiscard]] std::optional<RunSnapshot> get(std::uint64_t id) const;
+
+  [[nodiscard]] RegistryStats stats() const;
+
+  /// True when nothing is queued or running (the drain condition).
+  [[nodiscard]] bool idle() const;
+
+ private:
+  struct Record {
+    RunSnapshot snapshot;
+    exp::ScenarioSpec spec;
+  };
+
+  void notify_terminal();
+
+  CompletionHook on_terminal_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  bool stop_ = false;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Record> runs_;
+  RegistryStats counters_;
+};
+
+}  // namespace mcsim::serve

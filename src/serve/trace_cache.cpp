@@ -1,0 +1,152 @@
+#include "serve/trace_cache.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "workload/trace_workload.hpp"
+
+namespace mcsim::serve {
+
+namespace {
+
+struct FileIdentity {
+  std::int64_t mtime_ns = 0;
+  std::uint64_t size = 0;
+};
+
+FileIdentity stat_identity(const std::string& path) {
+  struct stat info{};
+  if (::stat(path.c_str(), &info) != 0) {
+    throw std::invalid_argument("mcsim: cannot stat trace file " + path + ": " +
+                                std::strerror(errno));
+  }
+  FileIdentity identity;
+  identity.mtime_ns = static_cast<std::int64_t>(info.st_mtim.tv_sec) * 1'000'000'000 +
+                      info.st_mtim.tv_nsec;
+  identity.size = static_cast<std::uint64_t>(info.st_size);
+  return identity;
+}
+
+std::shared_ptr<const CachedTrace> load_trace(const std::string& path) {
+  auto trace = std::make_shared<CachedTrace>();
+  trace->scan = scan_swf_file(path);
+  std::vector<TraceRecord> raw;
+  raw.reserve(trace->scan.summary.usable_records);
+  {
+    SwfFileStream stream(path);
+    TraceRecord record;
+    while (stream.next(record)) {
+      if (trace_record_usable(record)) raw.push_back(record);
+    }
+  }
+  trace->records = usable_trace_records(raw);
+  trace->bytes = trace->records.capacity() * sizeof(TraceRecord) +
+                 sizeof(CachedTrace);
+  return trace;
+}
+
+}  // namespace
+
+bool CachedTraceSource::next(TraceRecord& out) {
+  if (index_ >= trace_->records.size()) return false;
+  out = trace_->records[index_++];
+  return true;
+}
+
+std::shared_ptr<const CachedTrace> TraceCache::get(const std::string& path) {
+  const FileIdentity identity = stat_identity(path);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = entries_.find(path);
+    if (found != entries_.end()) {
+      Entry& entry = found->second;
+      if (entry.mtime_ns == identity.mtime_ns && entry.size == identity.size) {
+        ++counters_.hits;
+        lru_.splice(lru_.begin(), lru_, entry.lru_position);
+        return entry.trace;
+      }
+      // Stale: the file changed underneath us. Drop the entry and fall
+      // through to a fresh load (counted as a reload, not a miss).
+      resident_bytes_ -= entry.trace->bytes;
+      lru_.erase(entry.lru_position);
+      entries_.erase(found);
+      ++counters_.reloads;
+    } else {
+      ++counters_.misses;
+    }
+  }
+
+  // Parse outside the lock: concurrent submits for *different* logs load in
+  // parallel; a duplicate concurrent load of the same log costs a redundant
+  // parse, never a wrong answer (last one in wins the cache slot).
+  std::shared_ptr<const CachedTrace> trace = load_trace(path);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (trace->bytes <= budget_bytes_) {
+    auto found = entries_.find(path);
+    if (found != entries_.end()) {
+      resident_bytes_ -= found->second.trace->bytes;
+      lru_.erase(found->second.lru_position);
+      entries_.erase(found);
+    }
+    make_room(trace->bytes);
+    lru_.push_front(path);
+    Entry entry;
+    entry.trace = trace;
+    entry.mtime_ns = identity.mtime_ns;
+    entry.size = identity.size;
+    entry.lru_position = lru_.begin();
+    entries_.emplace(path, std::move(entry));
+    resident_bytes_ += trace->bytes;
+  }
+  // else: oversize for the whole budget — serve it, retain nothing.
+  return trace;
+}
+
+void TraceCache::make_room(std::uint64_t incoming) {
+  while (!lru_.empty() && resident_bytes_ + incoming > budget_bytes_) {
+    const std::string& victim = lru_.back();
+    auto found = entries_.find(victim);
+    MCSIM_ASSERT(found != entries_.end());
+    resident_bytes_ -= found->second.trace->bytes;
+    entries_.erase(found);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+exp::TraceResolver TraceCache::resolver() {
+  return [this](const std::string& path) {
+    std::shared_ptr<const CachedTrace> trace = get(path);
+    exp::ResolvedTrace resolved;
+    resolved.scan = trace->scan;
+    resolved.open_source = [trace]() -> std::unique_ptr<TraceRecordSource> {
+      return std::make_unique<CachedTraceSource>(trace);
+    };
+    return resolved;
+  };
+}
+
+TraceCacheStats TraceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceCacheStats out = counters_;
+  out.entries = entries_.size();
+  out.resident_bytes = resident_bytes_;
+  out.budget_bytes = budget_bytes_;
+  return out;
+}
+
+void TraceCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
+}
+
+}  // namespace mcsim::serve

@@ -8,6 +8,21 @@
 
 namespace mcsim {
 
+// Argv-derived errors throw CliUsageError (exit 2); declaration-time misuse
+// (duplicate/undeclared options) stays MCSIM_REQUIRE — that is a programming
+// error in the tool, not in what the user typed.
+#define MCSIM_USAGE_REQUIRE(cond, msg)             \
+  do {                                             \
+    if (!(cond)) {                                 \
+      throw CliUsageError(std::string("mcsim: ") + (msg)); \
+    }                                              \
+  } while (0)
+
+int cli_exit_code(const std::exception& error) {
+  return dynamic_cast<const CliUsageError*>(&error) != nullptr ? kExitUsage
+                                                               : kExitRuntime;
+}
+
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {}
 
@@ -46,14 +61,14 @@ bool CliParser::parse(int argc, const char* const* argv) {
       name = body;
     }
     auto it = options_.find(name);
-    MCSIM_REQUIRE(it != options_.end(), "unknown option --" + name);
+    MCSIM_USAGE_REQUIRE(it != options_.end(), "unknown option --" + name);
     if (it->second.is_flag) {
-      MCSIM_REQUIRE(!has_value, "flag --" + name + " takes no value");
+      MCSIM_USAGE_REQUIRE(!has_value, "flag --" + name + " takes no value");
       values_[name] = "1";
       continue;
     }
     if (!has_value) {
-      MCSIM_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
+      MCSIM_USAGE_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
       value = argv[++i];
     }
     values_[name] = std::move(value);
@@ -71,22 +86,34 @@ std::string CliParser::get(const std::string& name) const {
 double CliParser::get_double(const std::string& name) const {
   const std::string text = get(name);
   size_t consumed = 0;
-  const double value = std::stod(text, &consumed);
-  MCSIM_REQUIRE(consumed == text.size(), "option --" + name + " is not a number: " + text);
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  MCSIM_USAGE_REQUIRE(consumed == text.size(),
+                      "option --" + name + " is not a number: " + text);
   return value;
 }
 
 std::int64_t CliParser::get_int(const std::string& name) const {
   const std::string text = get(name);
   size_t consumed = 0;
-  const long long value = std::stoll(text, &consumed);
-  MCSIM_REQUIRE(consumed == text.size(), "option --" + name + " is not an integer: " + text);
+  long long value = 0;
+  try {
+    value = std::stoll(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  MCSIM_USAGE_REQUIRE(consumed == text.size(),
+                      "option --" + name + " is not an integer: " + text);
   return value;
 }
 
 std::uint64_t CliParser::get_uint(const std::string& name) const {
   const std::int64_t value = get_int(name);
-  MCSIM_REQUIRE(value >= 0, "option --" + name + " must be non-negative");
+  MCSIM_USAGE_REQUIRE(value >= 0, "option --" + name + " must be non-negative");
   return static_cast<std::uint64_t>(value);
 }
 

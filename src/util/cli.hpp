@@ -7,10 +7,33 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace mcsim {
+
+/// The exit-code convention every mcsim verb follows (pinned by
+/// tests/util_cli_test.cpp and the serve-smoke CI job):
+///   0  success
+///   1  runtime failure  (unreadable trace, diverged verify, server error)
+///   2  usage error      (unknown flag, malformed option value, missing
+///                        positional, unknown command)
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRuntime = 1;
+inline constexpr int kExitUsage = 2;
+
+/// Thrown for errors in how the command line itself was written — unknown
+/// options, flags given values, non-numeric numbers. Derives from
+/// std::invalid_argument so existing catch sites keep working; the CLI main
+/// maps it to kExitUsage where every other exception maps to kExitRuntime.
+class CliUsageError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// The exit code the convention assigns to an escaped exception.
+int cli_exit_code(const std::exception& error);
 
 class CliParser {
  public:

@@ -1,0 +1,208 @@
+// parse_request is THE trust boundary of the experiment daemon: every
+// malformed, mistyped or hostile request line must surface as a
+// ProtocolError with a stable machine-readable code (never a crash), and
+// the sandbox rule must pin network-supplied trace paths under the
+// server's root. The response builders are pinned too — compact_json must
+// preserve number spellings verbatim, which is what keeps a manifest
+// bit-exact through the wire.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/scenario_spec.hpp"
+#include "obs/json_reader.hpp"
+
+namespace mcsim::serve {
+namespace {
+
+/// The error code parse_request assigns to `line` ("" = accepted).
+std::string code_of(const std::string& line, const std::string& root = "") {
+  try {
+    parse_request(line, root);
+  } catch (const ProtocolError& error) {
+    return error.code();
+  }
+  return "";
+}
+
+TEST(ServeProtocol, MalformedJsonIsBadJson) {
+  EXPECT_EQ(code_of("{nope"), kErrBadJson);
+  EXPECT_EQ(code_of(""), kErrBadJson);
+  EXPECT_EQ(code_of("{\"op\":\"stats\"} trailing"), kErrBadJson);
+}
+
+TEST(ServeProtocol, NonObjectRequestsAreBadRequests) {
+  EXPECT_EQ(code_of("[1,2,3]"), kErrBadRequest);
+  EXPECT_EQ(code_of("42"), kErrBadRequest);
+  EXPECT_EQ(code_of("\"submit\""), kErrBadRequest);
+}
+
+TEST(ServeProtocol, OpFieldIsRequiredAndMustBeAString) {
+  EXPECT_EQ(code_of("{}"), kErrBadRequest);
+  EXPECT_EQ(code_of("{\"op\":7}"), kErrBadRequest);
+}
+
+TEST(ServeProtocol, UnknownOpNamesTheOffender) {
+  try {
+    parse_request("{\"op\":\"frobnicate\"}", "");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& error) {
+    EXPECT_EQ(error.code(), kErrBadRequest);
+    EXPECT_NE(std::string(error.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(ServeProtocol, SubmitNeedsASpecObject) {
+  EXPECT_EQ(code_of("{\"op\":\"submit\"}"), kErrBadRequest);
+  EXPECT_EQ(code_of("{\"op\":\"submit\",\"spec\":[]}"), kErrBadRequest);
+}
+
+TEST(ServeProtocol, InvalidScenarioSpecsAreStructuredErrors) {
+  // Unknown scenario keys are typo protection in scenario_from_json; the
+  // protocol maps that to invalid-scenario, not a parse crash.
+  EXPECT_EQ(code_of("{\"op\":\"submit\",\"spec\":{\"bogus_key\":1}}"),
+            kErrInvalidScenario);
+}
+
+TEST(ServeProtocol, OnlyPointModeIsServed) {
+  EXPECT_EQ(code_of("{\"op\":\"submit\",\"spec\":{\"run\":{\"mode\":\"sweep\"}}}"),
+            kErrInvalidScenario);
+  EXPECT_EQ(
+      code_of("{\"op\":\"submit\",\"spec\":{\"run\":{\"mode\":\"saturation\"}}}"),
+      kErrInvalidScenario);
+}
+
+TEST(ServeProtocol, WholeFileHookIsRejected) {
+  EXPECT_EQ(code_of("{\"op\":\"submit\",\"spec\":{\"workload\":{"
+                    "\"path\":\"log.swf\",\"whole_file\":true}}}",
+                    "/sandbox"),
+            kErrInvalidScenario);
+}
+
+TEST(ServeProtocol, SubmitParsesSpecAndName) {
+  const Request request = parse_request(
+      "{\"op\":\"submit\",\"name\":\"probe\",\"spec\":{\"policy\":{\"kind\":"
+      "\"LS\"},\"run\":{\"utilization\":0.7,\"sim_jobs\":500,\"seed\":9}}}",
+      "");
+  EXPECT_EQ(request.op, Op::kSubmit);
+  EXPECT_EQ(request.name, "probe");
+  EXPECT_EQ(request.spec.policy, PolicyKind::kLS);
+  EXPECT_DOUBLE_EQ(request.spec.utilization, 0.7);
+  EXPECT_EQ(request.spec.sim_jobs, 500u);
+  EXPECT_EQ(request.spec.seed, 9u);
+}
+
+TEST(ServeProtocol, SubmitNameMustBeAString) {
+  EXPECT_EQ(code_of("{\"op\":\"submit\",\"name\":1,\"spec\":{}}"),
+            kErrBadRequest);
+}
+
+TEST(ServeProtocol, RunOpsNeedANumericId) {
+  for (const char* op : {"status", "result", "cancel"}) {
+    const std::string base = std::string("{\"op\":\"") + op + "\"";
+    EXPECT_EQ(code_of(base + "}"), kErrBadRequest) << op;
+    EXPECT_EQ(code_of(base + ",\"id\":\"3\"}"), kErrBadRequest) << op;
+    EXPECT_EQ(code_of(base + ",\"id\":-5}"), kErrBadRequest) << op;
+    EXPECT_EQ(code_of(base + ",\"id\":3}"), "") << op;
+  }
+  EXPECT_EQ(parse_request("{\"op\":\"status\",\"id\":3}", "").id, 3u);
+}
+
+TEST(ServeProtocol, ResultWaitDefaultsTrue) {
+  EXPECT_TRUE(parse_request("{\"op\":\"result\",\"id\":1}", "").wait);
+  EXPECT_FALSE(
+      parse_request("{\"op\":\"result\",\"id\":1,\"wait\":false}", "").wait);
+  EXPECT_EQ(code_of("{\"op\":\"result\",\"id\":1,\"wait\":\"yes\"}"),
+            kErrBadRequest);
+}
+
+TEST(ServeProtocol, StatsAndShutdownTakeNoFields) {
+  EXPECT_EQ(parse_request("{\"op\":\"stats\"}", "").op, Op::kStats);
+  EXPECT_EQ(parse_request("{\"op\":\"shutdown\"}", "").op, Op::kShutdown);
+}
+
+// -- the sandbox rule -------------------------------------------------------
+
+TEST(ServeSandbox, EmptyRootRejectsEveryTracePath) {
+  EXPECT_THROW(sandboxed_path("", "log.swf"), ProtocolError);
+  EXPECT_EQ(code_of("{\"op\":\"submit\",\"spec\":{\"workload\":{\"path\":"
+                    "\"log.swf\"}}}"),
+            kErrSandbox);
+}
+
+TEST(ServeSandbox, AbsolutePathsAreRejected) {
+  EXPECT_THROW(sandboxed_path("/sandbox", "/etc/passwd"), ProtocolError);
+}
+
+TEST(ServeSandbox, DotDotEscapesAreRejected) {
+  EXPECT_THROW(sandboxed_path("/sandbox", "../secret.swf"), ProtocolError);
+  EXPECT_THROW(sandboxed_path("/sandbox", "a/../../secret.swf"), ProtocolError);
+  EXPECT_THROW(sandboxed_path("/sandbox", ".."), ProtocolError);
+}
+
+TEST(ServeSandbox, ContainedPathsResolveUnderTheRoot) {
+  EXPECT_EQ(sandboxed_path("/sandbox", "traces/log.swf"),
+            "/sandbox/traces/log.swf");
+  // Interior ".." that stays inside the root is fine after normalization.
+  EXPECT_EQ(sandboxed_path("/sandbox", "a/../log.swf"), "/sandbox/log.swf");
+}
+
+TEST(ServeSandbox, RootSpellingDoesNotMatter) {
+  // "." (the CLI default) and a trailing slash must behave like any root.
+  EXPECT_EQ(sandboxed_path(".", "traces/log.swf"), "traces/log.swf");
+  EXPECT_EQ(sandboxed_path("/sandbox/", "log.swf"), "/sandbox/log.swf");
+}
+
+TEST(ServeSandbox, SubmitRewritesTracePathsAgainstTheRoot) {
+  const Request request = parse_request(
+      "{\"op\":\"submit\",\"spec\":{\"workload\":{\"type\":\"trace\","
+      "\"path\":\"logs/das2.swf\"}}}",
+      "/srv/traces");
+  EXPECT_EQ(request.spec.trace_path, "/srv/traces/logs/das2.swf");
+}
+
+// -- response builders ------------------------------------------------------
+
+TEST(ServeResponses, ErrorResponseIsParseableAndEscaped) {
+  const std::string line = error_response(kErrBadJson, "broke \"here\"\nbadly");
+  const obs::JsonValue parsed = obs::parse_json(line);
+  EXPECT_FALSE(parsed.find("ok")->as_bool());
+  const obs::JsonValue* error = parsed.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("code")->as_string(), kErrBadJson);
+  EXPECT_EQ(error->find("message")->as_string(), "broke \"here\"\nbadly");
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "responses are one line";
+}
+
+TEST(ServeResponses, OkResponseWithAndWithoutBody) {
+  EXPECT_EQ(ok_response(""), "{\"ok\":true}");
+  const obs::JsonValue parsed = obs::parse_json(ok_response("\"id\":7"));
+  EXPECT_TRUE(parsed.find("ok")->as_bool());
+  EXPECT_EQ(parsed.find("id")->as_uint(), 7u);
+}
+
+TEST(ServeResponses, CompactJsonPreservesNumberSpellings) {
+  const std::string source =
+      "{\"x\":248.71909290579251,\"e\":1e-3,\"neg\":-0.0,\"i\":30000}";
+  const obs::JsonValue parsed = obs::parse_json(source);
+  EXPECT_EQ(compact_json(parsed), source);
+  // Idempotent through another parse/serialize hop — the property the
+  // served-manifest bit-exactness contract rests on.
+  EXPECT_EQ(compact_json(obs::parse_json(compact_json(parsed))), source);
+}
+
+TEST(ServeResponses, CompactJsonCoversEveryKind) {
+  const std::string source =
+      "{\"a\":[1,true,null,\"s\"],\"o\":{\"k\":false},\"s\":\"q\\\"q\"}";
+  EXPECT_EQ(compact_json(obs::parse_json(source)), source);
+}
+
+TEST(ServeResponses, JsonStringEscapes) {
+  EXPECT_EQ(json_string("plain"), "\"plain\"");
+  EXPECT_EQ(json_string("a\"b"), "\"a\\\"b\"");
+}
+
+}  // namespace
+}  // namespace mcsim::serve

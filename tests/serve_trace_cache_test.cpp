@@ -1,0 +1,247 @@
+// The warm trace cache behind `mcsim serve`: (mtime, size) invalidation,
+// the LRU byte budget, serve-don't-retain for oversize logs, and the
+// resolver seam that must deliver the same scan and record order the
+// file-backed path would — the precondition for warm runs being
+// bit-identical to cold ones.
+#include "serve/trace_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/scenario_spec.hpp"
+#include "trace/swf_stream.hpp"
+
+namespace mcsim::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string record_line(std::uint64_t id, double submit, double run,
+                        std::uint32_t procs) {
+  std::ostringstream line;
+  line << id << ' ' << submit << " 0 " << run << ' ' << procs << " -1 -1 "
+       << procs << " -1 -1 1 0 -1 -1 -1 -1 -1 -1\n";
+  return line.str();
+}
+
+/// Write a small SWF log with `jobs` records (ids 1..jobs) under `dir`.
+std::string write_log(const fs::path& dir, const std::string& name,
+                      std::uint32_t jobs, double run = 50.0) {
+  const fs::path path = dir / name;
+  std::ofstream out(path);
+  out << "; MaxNodes: 128\n";
+  for (std::uint32_t i = 1; i <= jobs; ++i) {
+    out << record_line(i, 10.0 * i, run, 4);
+  }
+  return path.string();
+}
+
+/// A per-test scratch directory under gtest's TempDir.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("mcsim_cache_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Resident bytes one load of `path` charges (measured, not guessed, so
+/// the budget arithmetic below tracks the implementation's accounting).
+std::uint64_t entry_bytes(const std::string& path) {
+  TraceCache probe(1ull << 30);
+  probe.get(path);
+  return probe.stats().resident_bytes;
+}
+
+TEST(ServeTraceCache, MissThenHit) {
+  const fs::path dir = scratch_dir("miss_hit");
+  const std::string log = write_log(dir, "a.swf", 3);
+
+  TraceCache cache(1ull << 20);
+  const auto first = cache.get(log);
+  const auto second = cache.get(log);
+  EXPECT_EQ(first.get(), second.get()) << "a hit returns the resident entry";
+  ASSERT_EQ(first->records.size(), 3u);
+
+  const TraceCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.reloads, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+  EXPECT_EQ(stats.budget_bytes, 1ull << 20);
+}
+
+TEST(ServeTraceCache, RecordsComeOutSortedBySubmitThenId) {
+  const fs::path dir = scratch_dir("sorted");
+  const fs::path path = dir / "scrambled.swf";
+  {
+    std::ofstream out(path);
+    out << record_line(3, 200.0, 50.0, 4) << record_line(1, 100.0, 50.0, 4)
+        << record_line(5, 100.0, 50.0, 4) << record_line(2, 300.0, 50.0, 4);
+  }
+  TraceCache cache(1ull << 20);
+  const auto trace = cache.get(path.string());
+  ASSERT_EQ(trace->records.size(), 4u);
+  EXPECT_EQ(trace->records[0].job_id, 1u);  // submit 100, lower id first
+  EXPECT_EQ(trace->records[1].job_id, 5u);
+  EXPECT_EQ(trace->records[2].job_id, 3u);
+  EXPECT_EQ(trace->records[3].job_id, 2u);
+}
+
+TEST(ServeTraceCache, RewrittenFileIsReloaded) {
+  const fs::path dir = scratch_dir("invalidate");
+  const std::string log = write_log(dir, "a.swf", 2);
+
+  TraceCache cache(1ull << 20);
+  EXPECT_EQ(cache.get(log)->records.size(), 2u);
+
+  // Rewrite in place with more records; force the mtime forward explicitly
+  // so the test cannot race a coarse filesystem clock.
+  write_log(dir, "a.swf", 5);
+  fs::last_write_time(log,
+                      fs::last_write_time(log) + std::chrono::seconds(2));
+
+  EXPECT_EQ(cache.get(log)->records.size(), 5u)
+      << "a stale entry must be transparently reparsed";
+  const TraceCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ServeTraceCache, MtimeAloneInvalidates) {
+  const fs::path dir = scratch_dir("mtime_only");
+  const std::string log = write_log(dir, "a.swf", 2);
+
+  TraceCache cache(1ull << 20);
+  cache.get(log);
+  // Same bytes, newer mtime: the (mtime, size) identity treats it as a new
+  // file — a rewrite-with-identical-length must not serve stale records.
+  fs::last_write_time(log,
+                      fs::last_write_time(log) + std::chrono::seconds(2));
+  cache.get(log);
+  EXPECT_EQ(cache.stats().reloads, 1u);
+}
+
+TEST(ServeTraceCache, LruEvictionHonoursTheByteBudget) {
+  const fs::path dir = scratch_dir("lru");
+  const std::string log_a = write_log(dir, "a.swf", 4);
+  const std::string log_b = write_log(dir, "b.swf", 4);
+  const std::string log_c = write_log(dir, "c.swf", 4);
+  const std::uint64_t bytes = entry_bytes(log_a);
+
+  TraceCache cache(2 * bytes);  // room for exactly two of the three logs
+  cache.get(log_a);
+  cache.get(log_b);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  cache.get(log_c);  // evicts a (least recently used)
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  cache.get(log_b);  // still resident: a hit refreshes b ahead of c
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  cache.get(log_a);  // a was evicted -> a fresh miss, and c is now the victim
+  TraceCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.resident_bytes, stats.budget_bytes);
+
+  cache.get(log_b);  // the refreshed entry survived the second eviction
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(ServeTraceCache, ZeroBudgetDisablesRetention) {
+  const fs::path dir = scratch_dir("zero");
+  const std::string log = write_log(dir, "a.swf", 2);
+
+  TraceCache cache(0);
+  EXPECT_EQ(cache.get(log)->records.size(), 2u);
+  EXPECT_EQ(cache.get(log)->records.size(), 2u);
+  const TraceCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+}
+
+TEST(ServeTraceCache, OversizeLogIsServedButNotRetained) {
+  const fs::path dir = scratch_dir("oversize");
+  const std::string small = write_log(dir, "small.swf", 2);
+  const std::string big = write_log(dir, "big.swf", 64);
+
+  TraceCache cache(entry_bytes(small));  // the big log cannot possibly fit
+  EXPECT_EQ(cache.get(big)->records.size(), 64u);
+  EXPECT_EQ(cache.stats().entries, 0u)
+      << "a log larger than the whole budget must not be retained";
+  cache.get(small);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ServeTraceCache, EvictionNeverInvalidatesAnInFlightTrace) {
+  const fs::path dir = scratch_dir("shared");
+  const std::string log = write_log(dir, "a.swf", 3);
+
+  TraceCache cache(1ull << 20);
+  const auto trace = cache.get(log);
+  cache.clear();  // the harshest eviction
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  CachedTraceSource source(trace);  // shares ownership past the eviction
+  TraceRecord record;
+  std::size_t count = 0;
+  while (source.next(record)) ++count;
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(ServeTraceCache, MissingFileThrows) {
+  TraceCache cache(1ull << 20);
+  EXPECT_THROW(cache.get("/nonexistent/missing.swf"), std::invalid_argument);
+}
+
+TEST(ServeTraceCache, ResolverMatchesTheFileBackedPath) {
+  const fs::path dir = scratch_dir("resolver");
+  const std::string log = write_log(dir, "a.swf", 4);
+
+  TraceCache cache(1ull << 20);
+  const exp::ResolvedTrace warm = cache.resolver()(log);
+  const exp::ResolvedTrace cold = exp::resolve_trace_from_file(log);
+
+  EXPECT_EQ(warm.scan.header.max_nodes, cold.scan.header.max_nodes);
+  EXPECT_EQ(warm.scan.summary.total_records, cold.scan.summary.total_records);
+  EXPECT_EQ(warm.scan.summary.usable_records, cold.scan.summary.usable_records);
+  EXPECT_DOUBLE_EQ(warm.scan.summary.gross_work, cold.scan.summary.gross_work);
+
+  auto drain = [](const exp::ResolvedTrace& resolved) {
+    std::vector<TraceRecord> records;
+    auto source = resolved.open_source();
+    TraceRecord record;
+    while (source->next(record)) records.push_back(record);
+    return records;
+  };
+  const std::vector<TraceRecord> warm_records = drain(warm);
+  const std::vector<TraceRecord> cold_records = drain(cold);
+  ASSERT_EQ(warm_records.size(), cold_records.size());
+  for (std::size_t i = 0; i < warm_records.size(); ++i) {
+    EXPECT_EQ(warm_records[i].job_id, cold_records[i].job_id) << i;
+    EXPECT_DOUBLE_EQ(warm_records[i].submit_time, cold_records[i].submit_time)
+        << i;
+    EXPECT_DOUBLE_EQ(warm_records[i].run_time, cold_records[i].run_time) << i;
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+}  // namespace
+}  // namespace mcsim::serve

@@ -57,6 +57,33 @@ TEST(CliParser, UnknownOptionThrows) {
   EXPECT_THROW(parser.parse(2, argv), std::invalid_argument);
 }
 
+// -- the exit-code convention (0 ok, 1 runtime, 2 usage) --------------------
+// Pinned here and re-checked end-to-end by the serve-smoke CI job: argv
+// mistakes exit 2, everything else that escapes exits 1.
+
+TEST(CliExitCode, UsageErrorsMapToTwo) {
+  EXPECT_EQ(cli_exit_code(CliUsageError("mcsim: unknown option --nope")),
+            kExitUsage);
+}
+
+TEST(CliExitCode, OtherExceptionsMapToOne) {
+  EXPECT_EQ(cli_exit_code(std::runtime_error("trace unreadable")), kExitRuntime);
+  // Plain invalid_argument is a *runtime* failure (e.g. a malformed data
+  // file); only the CliUsageError subclass means "the command line is
+  // wrong".
+  EXPECT_EQ(cli_exit_code(std::invalid_argument("bad file")), kExitRuntime);
+}
+
+TEST(CliExitCode, ParserErrorsAreUsageErrors) {
+  auto parser = make_parser();
+  const char* unknown[] = {"prog", "--nope=1"};
+  EXPECT_THROW(parser.parse(2, unknown), CliUsageError);
+  const char* missing[] = {"prog", "--jobs"};
+  EXPECT_THROW(parser.parse(2, missing), CliUsageError);
+  const char* flagged[] = {"prog", "--verbose=1"};
+  EXPECT_THROW(parser.parse(2, flagged), CliUsageError);
+}
+
 TEST(CliParser, MissingValueThrows) {
   auto parser = make_parser();
   const char* argv[] = {"prog", "--jobs"};

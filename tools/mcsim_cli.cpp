@@ -9,8 +9,14 @@
 //   sweep        a response-vs-utilization curve for one scenario
 //   saturation   maximal utilization by constant backlog
 //   replications independent-replication CI for one load point
+//   serve        warm-cache experiment daemon on a Unix socket (docs/SERVING.md)
+//   submit       run a scenario on a running serve daemon
 //   trace-gen    generate a synthetic DAS1 log (SWF)
 //   trace-stats  characterise an SWF trace
+//
+// Exit codes (regression-tested in tests/util_cli_test.cpp): 0 success,
+// 1 runtime failure (a load, run, or verification failed), 2 usage error
+// (unknown command/option, missing positional, malformed flag value).
 //
 // Examples:
 //   mcsim run data/scenarios/fig3_gs_limit16.json --metrics-out=run.json
@@ -65,6 +71,9 @@
 #include "obs/json_reader.hpp"
 #include "obs/ring_recorder.hpp"
 #include "obs/swf_builder.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "trace/swf.hpp"
 #include "trace/synthetic_log.hpp"
 #include "trace/timeline.hpp"
@@ -77,6 +86,22 @@
 namespace {
 
 using namespace mcsim;
+
+/// Errors raised while interpreting command-line flag values (bad enum
+/// names, malformed numbers already covered by CliParser) are usage errors
+/// — exit code 2 — not runtime failures. The library throws plain
+/// std::invalid_argument for both kinds; context decides: inside this
+/// wrapper the input came from argv.
+template <typename Fn>
+auto as_usage(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const CliUsageError&) {
+    throw;
+  } catch (const std::invalid_argument& error) {
+    throw CliUsageError(error.what());
+  }
+}
 
 void add_scenario_options(CliParser& parser) {
   parser.add_option("policy", "LS", "GS, LS, LP or SC");
@@ -305,7 +330,7 @@ int cmd_point(int argc, const char* const* argv) {
   add_point_output_options(parser);
   if (!parser.parse(argc, argv)) return 0;
 
-  exp::ScenarioSpec spec = spec_from(parser);
+  exp::ScenarioSpec spec = as_usage([&] { return spec_from(parser); });
   spec.mode = exp::RunMode::kPoint;
   spec.utilization = parser.get_double("utilization");
   spec.sim_jobs = parser.get_uint("sim-jobs");
@@ -463,19 +488,19 @@ int cmd_replay(int argc, const char* const* argv) {
     if (!parser.positional().empty()) {
       std::cerr << "mcsim replay: --corpus replays a directory; drop the "
                    "positional trace argument\n";
-      return 1;
+      return kExitUsage;
     }
-    exp::ScenarioSpec base = spec_from(parser);
+    exp::ScenarioSpec base = as_usage([&] { return spec_from(parser); });
     base.parallelism = static_cast<unsigned>(parser.get_uint("jobs"));
     return execute_corpus(base, parser);
   }
   if (parser.positional().empty()) {
     std::cerr << "usage: mcsim replay <trace.swf> [options]\n"
                  "       mcsim replay --corpus=<dir> [options]\n";
-    return 1;
+    return kExitUsage;
   }
 
-  exp::ScenarioSpec spec = spec_from(parser);
+  exp::ScenarioSpec spec = as_usage([&] { return spec_from(parser); });
   spec.parallelism = static_cast<unsigned>(parser.get_uint("jobs"));
   spec.mode = exp::RunMode::kPoint;
   spec.trace_path = parser.positional().front();
@@ -506,7 +531,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   parser.add_option("gnuplot", "", "write .dat/.gp into this directory");
   if (!parser.parse(argc, argv)) return 0;
 
-  exp::ScenarioSpec spec = spec_from(parser);
+  exp::ScenarioSpec spec = as_usage([&] { return spec_from(parser); });
   spec.mode = exp::RunMode::kSweep;
   spec.sweep_from = parser.get_double("from");
   spec.sweep_to = parser.get_double("to");
@@ -527,7 +552,7 @@ int cmd_saturation(int argc, const char* const* argv) {
                     "saturation run hands it to --engine=parallel's crew");
   if (!parser.parse(argc, argv)) return 0;
 
-  exp::ScenarioSpec spec = spec_from(parser);
+  exp::ScenarioSpec spec = as_usage([&] { return spec_from(parser); });
   spec.mode = exp::RunMode::kSaturation;
   spec.saturation_completions = parser.get_uint("completions");
   spec.parallelism = static_cast<unsigned>(parser.get_uint("jobs"));
@@ -546,7 +571,7 @@ int cmd_replications(int argc, const char* const* argv) {
                     "parallel replications (worker threads)");
   if (!parser.parse(argc, argv)) return 0;
 
-  exp::ScenarioSpec spec = spec_from(parser);
+  exp::ScenarioSpec spec = as_usage([&] { return spec_from(parser); });
   spec.mode = exp::RunMode::kReplications;
   spec.utilization = parser.get_double("utilization");
   spec.sim_jobs = parser.get_uint("sim-jobs");
@@ -622,10 +647,10 @@ int cmd_run(int argc, const char* const* argv) {
   if (!parser.parse(argc, argv)) return 0;
   if (parser.positional().empty()) {
     std::cerr << "usage: mcsim run <scenario.json> [options]\n";
-    return 1;
+    return kExitUsage;
   }
   exp::ScenarioSpec spec = exp::load_scenario(parser.positional().front());
-  apply_run_overrides(parser, &spec);
+  as_usage([&] { apply_run_overrides(parser, &spec); });
   return execute_spec(spec, parser, join_command_line(argc, argv));
 }
 
@@ -635,7 +660,7 @@ int cmd_rerun(int argc, const char* const* argv) {
   if (!parser.parse(argc, argv)) return 0;
   if (parser.positional().empty()) {
     std::cerr << "usage: mcsim rerun <manifest.json> [options]\n";
-    return 1;
+    return kExitUsage;
   }
   const std::string path = parser.positional().front();
   const obs::JsonValue document = obs::parse_json_file(path);
@@ -654,7 +679,7 @@ int cmd_rerun(int argc, const char* const* argv) {
     return 1;
   }
   exp::ScenarioSpec spec = exp::scenario_from_json(*embedded);
-  apply_run_overrides(parser, &spec);
+  as_usage([&] { apply_run_overrides(parser, &spec); });
   return execute_spec(spec, parser, join_command_line(argc, argv));
 }
 
@@ -678,12 +703,13 @@ int cmd_verify(int argc, const char* const* argv) {
   const std::string golden_dir =
       parser.positional().empty() ? "data/golden" : parser.positional().front();
   exp::VerifyOptions options;
-  options.compare.mode = exp::parse_compare_mode(parser.get("mode"));
+  options.compare.mode =
+      as_usage([&] { return exp::parse_compare_mode(parser.get("mode")); });
   options.compare.rel_tol = parser.get_double("rel-tol");
   options.compare.abs_tol = parser.get_double("abs-tol");
   options.parallelism = static_cast<unsigned>(parser.get_uint("jobs"));
   options.update = parser.get_flag("update");
-  options.engine = parse_engine_kind(parser.get("engine"));
+  options.engine = as_usage([&] { return parse_engine_kind(parser.get("engine")); });
 
   const exp::VerifyReport report =
       exp::verify_goldens(parser.get("scenarios"), golden_dir, options);
@@ -740,7 +766,7 @@ int cmd_trace_stats(int argc, const char* const* argv) {
   if (!parser.parse(argc, argv)) return 0;
   if (parser.positional().empty()) {
     std::cerr << "usage: mcsim trace-stats <trace.swf>\n";
-    return 1;
+    return kExitUsage;
   }
   const auto trace = read_swf_file(parser.positional().front());
   const auto summary = summarize_trace(trace.records);
@@ -761,6 +787,96 @@ int cmd_trace_stats(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  CliParser parser(
+      "mcsim serve: warm-cache experiment daemon on a local Unix socket "
+      "(docs/SERVING.md)");
+  parser.add_option("socket", "mcsim.sock", "Unix-domain socket path to listen on");
+  parser.add_option("jobs", "1", "concurrent served runs (0 = all cores)");
+  parser.add_option("cache-mb", "256",
+                    "trace-cache byte budget in MiB (0 disables retention)");
+  parser.add_option("sandbox", ".",
+                    "directory submitted trace paths must stay under "
+                    "(out-of-tree paths are rejected, never opened)");
+  if (!parser.parse(argc, argv)) return 0;
+
+  serve::ServerConfig config;
+  config.socket_path = parser.get("socket");
+  config.jobs = static_cast<unsigned>(parser.get_uint("jobs"));
+  config.cache_bytes = parser.get_uint("cache-mb") << 20;
+  config.sandbox_root = parser.get("sandbox");
+  serve::Server server(config);
+  // Blocks until a `shutdown` request or SIGTERM/SIGINT drains the queue;
+  // a clean drain exits 0.
+  return server.serve();
+}
+
+int cmd_submit(int argc, const char* const* argv) {
+  CliParser parser(
+      "mcsim submit: run a scenario on a running `mcsim serve` daemon");
+  parser.add_option("socket", "mcsim.sock", "daemon socket path");
+  parser.add_option("name", "", "label for the run (default: the spec's label)");
+  parser.add_option("out", "",
+                    "write the served run manifest here (byte-identical to the "
+                    "document the server rendered)");
+  parser.add_option("timeout", "600", "seconds to wait for each response");
+  parser.add_flag("no-wait", "print the run id and exit without waiting");
+  if (!parser.parse(argc, argv)) return 0;
+  if (parser.positional().empty()) {
+    std::cerr << "usage: mcsim submit <scenario.json> [options]\n";
+    return kExitUsage;
+  }
+
+  // Read the file raw — no path resolution. A trace path inside the
+  // scenario travels verbatim and is resolved by the SERVER against its
+  // sandbox root, so the same scenario file means the same thing to every
+  // client wherever it runs (docs/SERVING.md, "The sandbox").
+  const std::string path = parser.positional().front();
+  obs::JsonValue document = obs::parse_json_file(path);
+  const obs::JsonValue* spec = &document;
+  if (document.is_object() && document.find("schema") != nullptr &&
+      document.at("schema").is_string() &&
+      document.at("schema").as_string() == "mcsim-run-manifest") {
+    spec = document.find("scenario");
+    if (spec == nullptr) {
+      std::cerr << "mcsim submit: " << path << " has no embedded scenario\n";
+      return 1;
+    }
+  }
+
+  serve::ServeClient client(parser.get("socket"));
+  client.set_timeout_ms(static_cast<int>(parser.get_uint("timeout")) * 1000);
+  const std::uint64_t id =
+      client.submit(serve::compact_json(*spec), parser.get("name"));
+  std::cout << "submitted run " << id << '\n';
+  if (parser.get_flag("no-wait")) return 0;
+
+  const obs::JsonValue response = client.await_result(id);
+  const obs::JsonValue& manifest = response.at("manifest");
+  const std::string out_path = parser.get("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "mcsim: cannot open " << out_path << '\n';
+      return 1;
+    }
+    // write_parsed_json reproduces our own serialization byte-for-byte, so
+    // this file equals the manifest an offline `mcsim run --metrics-out`
+    // writes, up to the wall-clock provenance (docs/SERVING.md).
+    obs::JsonWriter json(out);
+    exp::write_parsed_json(json, manifest);
+    out << '\n';
+    std::cout << "manifest -> " << out_path << '\n';
+  }
+  const obs::JsonValue* result = manifest.find("result");
+  const obs::JsonValue* mean =
+      result != nullptr ? result->find("mean_response") : nullptr;
+  std::cout << "run " << id << " done";
+  if (mean != nullptr) std::cout << ": mean response " << mean->number_text() << " s";
+  std::cout << '\n';
+  return 0;
+}
+
 void print_usage() {
   std::cout
       << "mcsim — trace-based multicluster co-allocation simulator (HPDC'03 repro)\n\n"
@@ -774,8 +890,11 @@ void print_usage() {
          "  sweep         response-vs-utilization curve\n"
          "  saturation    maximal utilization (constant backlog)\n"
          "  replications  independent-replication confidence interval\n"
+         "  serve         warm-cache experiment daemon (docs/SERVING.md)\n"
+         "  submit        run a scenario on a running serve daemon\n"
          "  trace-gen     generate a synthetic DAS1 log (SWF)\n"
-         "  trace-stats   characterise an SWF trace\n";
+         "  trace-stats   characterise an SWF trace\n\n"
+         "exit codes: 0 success, 1 runtime failure, 2 usage error\n";
 }
 
 }  // namespace
@@ -783,7 +902,7 @@ void print_usage() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     print_usage();
-    return 1;
+    return kExitUsage;
   }
   const std::string command = argv[1];
   // Shift argv so each subcommand parses its own options.
@@ -798,19 +917,29 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
     if (command == "saturation") return cmd_saturation(sub_argc, sub_argv);
     if (command == "replications") return cmd_replications(sub_argc, sub_argv);
+    if (command == "serve") return cmd_serve(sub_argc, sub_argv);
+    if (command == "submit") return cmd_submit(sub_argc, sub_argv);
     if (command == "trace-gen") return cmd_trace_gen(sub_argc, sub_argv);
     if (command == "trace-stats") return cmd_trace_stats(sub_argc, sub_argv);
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage();
       return 0;
     }
+  } catch (const serve::ServeError& error) {
+    // A structured server-side refusal: surface the machine-readable code
+    // alongside the message. Always a runtime failure for the client.
+    std::cerr << "mcsim: server error [" << error.code() << "] " << error.what()
+              << '\n';
+    return kExitRuntime;
   } catch (const std::exception& error) {
     // MCSIM_REQUIRE messages already carry the "mcsim: " prefix.
     const std::string_view what = error.what();
     std::cerr << (what.starts_with("mcsim: ") ? "" : "mcsim: ") << what << '\n';
-    return 1;
+    // CliUsageError -> 2 (bad invocation); everything else -> 1 (the run
+    // itself failed). Regression-tested in tests/util_cli_test.cpp.
+    return cli_exit_code(error);
   }
   std::cerr << "mcsim: unknown command '" << command << "'\n\n";
   print_usage();
-  return 1;
+  return kExitUsage;
 }

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Concurrency benchmark for the mcsim experiment daemon (`mcsim serve`).
+
+Boots a daemon, drives it with K concurrent clients each submitting the
+same scenario N times over the NDJSON protocol (docs/SERVING.md), and
+writes a benchmark report. The interesting numbers are the cold-vs-warm
+split (the first submit of a trace pays the parse; the rest hit the warm
+cache) and submit->result latency under concurrency.
+
+Advisory by design: the report is uploaded as a CI artifact for trend
+inspection, not gated — serve latency on a shared runner is too noisy for
+a threshold, unlike the calibration-normalized replay gate
+(tools/bench_compare.py).
+
+Usage:
+  python3 tools/serve_bench.py --mcsim build/tools/mcsim \\
+      --scenario data/scenarios/smoke.json --clients 4 --submits 3 \\
+      --out BENCH_serve.json
+"""
+
+import argparse
+import json
+import os
+import socket
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+
+def connect(path, attempts=300, delay=0.05):
+    """Connect to the daemon socket, retrying while it boots."""
+    last = None
+    for _ in range(attempts):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return sock
+        except OSError as error:
+            last = error
+            sock.close()
+            time.sleep(delay)
+    raise RuntimeError(f"server never came up at {path}: {last}")
+
+
+class Client:
+    """One NDJSON protocol connection: send a request object, read one
+    response line."""
+
+    def __init__(self, socket_path):
+        self.sock = connect(socket_path)
+        self.file = self.sock.makefile("rwb")
+
+    def request(self, obj):
+        self.file.write(json.dumps(obj).encode() + b"\n")
+        self.file.flush()
+        line = self.file.readline()
+        if not line:
+            raise RuntimeError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise RuntimeError(f"server error: {response.get('error')}")
+        return response
+
+    def close(self):
+        self.file.close()
+        self.sock.close()
+
+
+def run_client(socket_path, spec, submits, latencies, errors, index):
+    try:
+        client = Client(socket_path)
+        for _ in range(submits):
+            start = time.perf_counter()
+            run_id = client.request({"op": "submit", "spec": spec})["id"]
+            response = client.request({"op": "result", "id": run_id, "wait": True})
+            latencies[index].append(time.perf_counter() - start)
+            assert response["state"] == "done", response
+        client.close()
+    except Exception as error:  # noqa: BLE001 - report, don't crash the bench
+        errors[index] = str(error)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mcsim", default="build/tools/mcsim")
+    parser.add_argument("--scenario", default="data/scenarios/smoke.json")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--submits", type=int, default=3,
+                        help="submissions per client")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="server runner-pool width (--jobs)")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args()
+
+    with open(args.scenario, encoding="utf-8") as handle:
+        spec = json.load(handle)
+
+    with tempfile.TemporaryDirectory(prefix="mcsim_serve_bench_") as tmp:
+        socket_path = os.path.join(tmp, "bench.sock")
+        server = subprocess.Popen(
+            [args.mcsim, "serve", f"--socket={socket_path}",
+             f"--jobs={args.jobs}", "--sandbox=."],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            latencies = [[] for _ in range(args.clients)]
+            errors = [None] * args.clients
+            threads = [
+                threading.Thread(target=run_client, args=(
+                    socket_path, spec, args.submits, latencies, errors, i))
+                for i in range(args.clients)
+            ]
+            wall_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - wall_start
+
+            failures = [e for e in errors if e]
+            if failures:
+                raise RuntimeError("; ".join(failures))
+
+            control = Client(socket_path)
+            stats = control.request({"op": "stats"})
+            control.request({"op": "shutdown"})
+            control.close()
+        finally:
+            if server.poll() is None:
+                server.terminate()
+            code = server.wait(timeout=60)
+        if code != 0:
+            raise RuntimeError(f"server exited {code} after the drain")
+
+    flat = sorted(t for per_client in latencies for t in per_client)
+    total = len(flat)
+    report = {
+        "schema": "mcsim-serve-bench",
+        "schema_version": 1,
+        "scenario": args.scenario,
+        "clients": args.clients,
+        "submits_per_client": args.submits,
+        "server_jobs": args.jobs,
+        "total_runs": total,
+        "wall_seconds": wall,
+        "runs_per_second": total / wall if wall > 0 else 0.0,
+        "latency_seconds": {
+            "mean": statistics.fmean(flat),
+            "p50": flat[total // 2],
+            "min": flat[0],
+            "max": flat[-1],
+        },
+        "server_stats": {"cache": stats["cache"], "runs": stats["runs"]},
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"{total} runs, {args.clients} clients: "
+          f"{report['runs_per_second']:.1f} runs/s, "
+          f"mean latency {report['latency_seconds']['mean'] * 1e3:.1f} ms "
+          f"-> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
